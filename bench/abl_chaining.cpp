@@ -1,0 +1,92 @@
+// Ablation A1: operation chaining (§3.4).
+//
+// The same k dependent operations executed (a) as one PRISM chain in a
+// single round trip vs (b) as k sequential round trips. Chaining converts
+// k network RTTs into one RTT plus k small per-op server costs; the win
+// grows with k and with network depth.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/prism/service.h"
+
+namespace prism {
+namespace {
+
+using core::Chain;
+using core::Op;
+using sim::Task;
+using sim::ToMicros;
+
+double MeasureChained(net::CostModel model, int k) {
+  sim::Simulator sim;
+  net::Fabric fabric(&sim, model);
+  net::HostId server_host = fabric.AddHost("server");
+  net::HostId client_host = fabric.AddHost("client");
+  rdma::AddressSpace mem(1 << 21);
+  core::PrismServer server(&fabric, server_host,
+                           core::Deployment::kSoftware, &mem);
+  auto region = *mem.CarveAndRegister(1 << 20, rdma::kRemoteAll);
+  core::PrismClient client(&fabric, client_host);
+  double us = 0;
+  sim::Spawn([&]() -> Task<void> {
+    Chain chain;
+    for (int i = 0; i < k; ++i) {
+      chain.push_back(Op::Write(region.rkey,
+                                region.base + static_cast<uint64_t>(i) * 64,
+                                Bytes(64, 1)));
+    }
+    sim::TimePoint start = sim.Now();
+    auto r = co_await client.Execute(&server, std::move(chain));
+    PRISM_CHECK(r.ok());
+    us = ToMicros(sim.Now() - start);
+  });
+  sim.Run();
+  return us;
+}
+
+double MeasureSequential(net::CostModel model, int k) {
+  sim::Simulator sim;
+  net::Fabric fabric(&sim, model);
+  net::HostId server_host = fabric.AddHost("server");
+  net::HostId client_host = fabric.AddHost("client");
+  rdma::AddressSpace mem(1 << 21);
+  core::PrismServer server(&fabric, server_host,
+                           core::Deployment::kSoftware, &mem);
+  auto region = *mem.CarveAndRegister(1 << 20, rdma::kRemoteAll);
+  core::PrismClient client(&fabric, client_host);
+  double us = 0;
+  sim::Spawn([&]() -> Task<void> {
+    sim::TimePoint start = sim.Now();
+    for (int i = 0; i < k; ++i) {
+      Op op = Op::Write(region.rkey,
+                        region.base + static_cast<uint64_t>(i) * 64,
+                        Bytes(64, 1));
+      auto r = co_await client.ExecuteOne(&server, std::move(op));
+      PRISM_CHECK(r.ok());
+    }
+    us = ToMicros(sim.Now() - start);
+  });
+  sim.Run();
+  return us;
+}
+
+}  // namespace
+}  // namespace prism
+
+int main() {
+  using namespace prism;
+  std::printf("== Ablation A1: chaining k ops in 1 RT vs k sequential RTs "
+              "(software PRISM) ==\n");
+  std::printf("%4s | %-28s | %-28s\n", "", "cluster (0.6us ToR)",
+              "datacenter (+24us)");
+  std::printf("%4s %12s %14s %12s %14s\n", "k", "chained(us)",
+              "sequential(us)", "chained(us)", "sequential(us)");
+  for (int k : {1, 2, 3, 4, 8, 16}) {
+    std::printf("%4d %12.1f %14.1f %12.1f %14.1f\n", k,
+                MeasureChained(net::CostModel::EvalCluster40G(), k),
+                MeasureSequential(net::CostModel::EvalCluster40G(), k),
+                MeasureChained(net::CostModel::DataCenterScale(), k),
+                MeasureSequential(net::CostModel::DataCenterScale(), k));
+  }
+  return 0;
+}

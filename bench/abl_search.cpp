@@ -1,0 +1,78 @@
+// Ablation A7: the pattern-search extension (§9, Snap) vs transferring the
+// haystack. Sweeps the remote-buffer size; reports latency and wire bytes
+// for (a) READ-everything + client-side scan, (b) one SEARCH op.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/prism/service.h"
+
+namespace prism {
+namespace {
+
+using core::Op;
+using sim::Task;
+using sim::ToMicros;
+
+struct Sample {
+  double us;
+  uint64_t wire_bytes;
+};
+
+Sample Measure(bool use_search, uint64_t haystack, core::Deployment dep) {
+  sim::Simulator sim;
+  net::Fabric fabric(&sim, net::CostModel::EvalCluster40G());
+  net::HostId server_host = fabric.AddHost("server");
+  net::HostId client_host = fabric.AddHost("client");
+  rdma::AddressSpace mem((haystack + (1 << 20)) * 2);
+  core::PrismServer server(&fabric, server_host, dep, &mem);
+  auto region = *mem.CarveAndRegister(haystack + 4096, rdma::kRemoteAll);
+  Bytes data(haystack, 'x');
+  std::memcpy(data.data() + haystack - 16, "NEEDLE", 6);
+  mem.Store(region.base, data);
+  core::PrismClient client(&fabric, client_host);
+  Sample out{0, 0};
+  uint64_t before = fabric.total_wire_bytes();
+  sim::Spawn([&]() -> Task<void> {
+    sim::TimePoint t0 = sim.Now();
+    if (use_search) {
+      Op search = Op::Search(region.rkey, region.base, haystack,
+                             BytesOfString("NEEDLE"));
+      auto r = co_await client.ExecuteOne(&server, std::move(search));
+      PRISM_CHECK(r.ok());
+      PRISM_CHECK(LoadU64(r->data.data()) == haystack - 16);
+    } else {
+      Op read = Op::Read(region.rkey, region.base, haystack);
+      auto r = co_await client.ExecuteOne(&server, std::move(read));
+      PRISM_CHECK(r.ok());
+      // Client-side scan cost is charged as CRC-like CPU time per KiB.
+      co_await sim::SleepFor(&sim, fabric.cost().app_crc_check *
+                                       static_cast<int64_t>(haystack / 512));
+    }
+    out.us = ToMicros(sim.Now() - t0);
+  });
+  sim.Run();
+  out.wire_bytes = fabric.total_wire_bytes() - before;
+  return out;
+}
+
+}  // namespace
+}  // namespace prism
+
+int main() {
+  using namespace prism;
+  std::printf("== Ablation A7: pattern search vs transfer-and-scan "
+              "(software PRISM) ==\n");
+  std::printf("%10s %14s %12s %14s %12s\n", "haystack", "READ+scan(us)",
+              "wire(B)", "SEARCH(us)", "wire(B)");
+  for (uint64_t size : {uint64_t{1} << 10, uint64_t{1} << 12,
+                        uint64_t{1} << 14, uint64_t{1} << 16,
+                        uint64_t{1} << 18}) {
+    Sample read = Measure(false, size, core::Deployment::kSoftware);
+    Sample search = Measure(true, size, core::Deployment::kSoftware);
+    std::printf("%9lluK %14.1f %12llu %14.1f %12llu\n",
+                static_cast<unsigned long long>(size / 1024), read.us,
+                static_cast<unsigned long long>(read.wire_bytes), search.us,
+                static_cast<unsigned long long>(search.wire_bytes));
+  }
+  return 0;
+}

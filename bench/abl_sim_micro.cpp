@@ -1,0 +1,81 @@
+// Ablation A6: microbenchmarks of the simulation substrate itself
+// (google-benchmark, real wall-clock time). Documents the event-queue and
+// coroutine costs that bound how big a simulated experiment can be.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/workload/zipf.h"
+
+namespace prism {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1024; ++i) {
+      sim.Schedule(i % 97, [] {});
+    }
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_CoroutineSpawnResume(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int done = 0;
+    for (int i = 0; i < 256; ++i) {
+      sim::Spawn([&sim, &done]() -> sim::Task<void> {
+        co_await sim::SleepFor(&sim, 10);
+        co_await sim::SleepFor(&sim, 10);
+        done++;
+      });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * 256 * 2);
+}
+BENCHMARK(BM_CoroutineSpawnResume);
+
+void BM_ServiceQueueContention(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::ServiceQueue cores(&sim, 16);
+    for (int i = 0; i < 512; ++i) {
+      sim::Spawn([&]() -> sim::Task<void> { co_await cores.Use(100); });
+    }
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_ServiceQueueContention);
+
+void BM_ZipfSample(benchmark::State& state) {
+  workload::ZipfGenerator zipf(1u << 20, 0.99);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_ZipfSampleHighTheta(benchmark::State& state) {
+  workload::ZipfGenerator zipf(1u << 16, 1.4);  // CDF-table path
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSampleHighTheta);
+
+}  // namespace
+}  // namespace prism
+
+BENCHMARK_MAIN();

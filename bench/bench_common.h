@@ -1,0 +1,104 @@
+// Shared scaffolding for the figure-reproduction benchmarks.
+//
+// Methodology (matching §5): closed-loop clients spread across up to 11
+// client hosts (the paper's machine count), a warmup window discarded, and
+// a measurement window over which completions and latencies are recorded.
+// Sweeping the client count traces the throughput–latency curves.
+//
+// Scale substitution (see DESIGN.md §1): object count is reduced from the
+// paper's 8 M to a simulation-friendly number via --keys; access
+// distributions and object sizes are identical. Env var PRISM_BENCH_FAST=1
+// shrinks windows further for smoke runs.
+#ifndef PRISM_BENCH_BENCH_COMMON_H_
+#define PRISM_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/net/fabric.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+#include "src/workload/driver.h"
+#include "src/workload/zipf.h"
+
+namespace prism::bench {
+
+inline bool FastMode() {
+  const char* v = std::getenv("PRISM_BENCH_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+struct BenchWindows {
+  sim::Duration warmup = sim::Millis(0.5);
+  sim::Duration measure = sim::Millis(3.0);
+
+  static BenchWindows Default() {
+    BenchWindows w;
+    if (FastMode()) {
+      w.warmup = sim::Millis(0.2);
+      w.measure = sim::Millis(1.0);
+    }
+    return w;
+  }
+};
+
+inline std::vector<int> DefaultClientSweep() {
+  if (FastMode()) return {1, 8, 32, 96};
+  return {1, 2, 4, 8, 16, 32, 48, 64, 96, 128, 192, 256};
+}
+
+// The paper's testbed: up to 11 client machines (§6.2). Client tasks are
+// round-robined over these hosts so client-side link bandwidth is shared
+// realistically.
+constexpr int kClientHosts = 11;
+
+inline std::vector<net::HostId> AddClientHosts(net::Fabric& fabric) {
+  std::vector<net::HostId> hosts;
+  for (int i = 0; i < kClientHosts; ++i) {
+    hosts.push_back(fabric.AddHost("client-host-" + std::to_string(i)));
+  }
+  return hosts;
+}
+
+// Runs `n_clients` closed-loop clients, each repeatedly invoking
+// `one_op(client_index, recorder)` until the measurement window closes.
+// `one_op` must record its own completion. Returns the LoadPoint row.
+//
+// The factory is invoked once per client on the *simulation* side; clients
+// self-terminate when Now() passes the window end.
+using ClientLoop =
+    std::function<sim::Task<void>(int client_index, workload::Recorder*)>;
+
+inline workload::LoadPoint RunClosedLoop(sim::Simulator& sim,
+                                         int n_clients,
+                                         const BenchWindows& windows,
+                                         const ClientLoop& loop) {
+  const sim::TimePoint start = sim.Now() + windows.warmup;
+  const sim::TimePoint end = start + windows.measure;
+  auto recorder = std::make_unique<workload::Recorder>(&sim, start, end);
+  sim::TaskTracker tracker;
+  for (int c = 0; c < n_clients; ++c) {
+    sim::Spawn(loop(c, recorder.get()), &tracker);
+  }
+  sim.RunUntil(end + sim::Millis(20));  // drain tail + reclamation traffic
+  sim.Run();
+  PRISM_CHECK_EQ(tracker.live(), 0);
+  return workload::MakeLoadPoint(n_clients, *recorder);
+}
+
+// 8-byte dense key encoding used by all benches (the paper's 8-byte keys).
+inline std::string KeyOf(uint64_t i) {
+  std::string k(8, '\0');
+  prism::StoreU64(reinterpret_cast<uint8_t*>(k.data()), i);
+  return k;
+}
+
+}  // namespace prism::bench
+
+#endif  // PRISM_BENCH_BENCH_COMMON_H_

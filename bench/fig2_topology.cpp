@@ -1,0 +1,107 @@
+// Figure 2: indirect read latency vs network scale.
+//
+// Compares two chained RDMA READs (the only way to follow a pointer with
+// the standard interface) against one PRISM indirect READ under the paper's
+// three synthetic network tiers: rack (one ToR, 0.6 µs), cluster (three-tier
+// network, 3 µs) and data center (reported RDMA latency, 24 µs).
+//
+// Paper shape: PRISM SW beats 2×RDMA at every tier — the deeper the
+// network, the bigger the win — and even the BlueField wins once
+// propagation dominates processing.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/prism/service.h"
+#include "src/rdma/service.h"
+
+namespace prism {
+namespace {
+
+using core::Deployment;
+using core::Op;
+using sim::Task;
+using sim::ToMicros;
+
+constexpr uint64_t kValue = 512;
+
+struct Tier {
+  const char* name;
+  net::CostModel model;
+};
+
+double MeasureRdma2Reads(const net::CostModel& model) {
+  sim::Simulator sim;
+  net::Fabric fabric(&sim, model);
+  net::HostId server = fabric.AddHost("server");
+  net::HostId client_host = fabric.AddHost("client");
+  rdma::AddressSpace mem(1 << 21);
+  auto region = *mem.CarveAndRegister(1 << 20, rdma::kRemoteAll);
+  mem.StoreWord(region.base, region.base + 1024);
+  mem.Store(region.base + 1024, Bytes(kValue, 1));
+  rdma::RdmaService service(&fabric, server, rdma::Backend::kHardwareNic,
+                            &mem);
+  rdma::RdmaClient client(&fabric, client_host);
+  double us = 0;
+  sim::Spawn([&]() -> Task<void> {
+    sim::TimePoint start = sim.Now();
+    auto p = co_await client.Read(&service, region.rkey, region.base, 8);
+    PRISM_CHECK(p.ok());
+    auto r = co_await client.Read(&service, region.rkey, LoadU64(p->data()),
+                                  kValue);
+    PRISM_CHECK(r.ok());
+    us = ToMicros(sim.Now() - start);
+  });
+  sim.Run();
+  return us;
+}
+
+double MeasurePrismIndirect(const net::CostModel& model,
+                            Deployment deployment) {
+  sim::Simulator sim;
+  net::Fabric fabric(&sim, model);
+  net::HostId server_host = fabric.AddHost("server");
+  net::HostId client_host = fabric.AddHost("client");
+  rdma::AddressSpace mem(1 << 21);
+  core::PrismServer server(&fabric, server_host, deployment, &mem);
+  auto region = *mem.CarveAndRegister(1 << 20, rdma::kRemoteAll);
+  mem.StoreWord(region.base, region.base + 1024);
+  mem.Store(region.base + 1024, Bytes(kValue, 1));
+  core::PrismClient client(&fabric, client_host);
+  double us = 0;
+  sim::Spawn([&]() -> Task<void> {
+    sim::TimePoint start = sim.Now();
+    auto r = co_await client.ExecuteOne(
+        &server, Op::IndirectRead(region.rkey, region.base, kValue));
+    PRISM_CHECK(r.ok());
+    PRISM_CHECK(r->status.ok());
+    us = ToMicros(sim.Now() - start);
+  });
+  sim.Run();
+  return us;
+}
+
+}  // namespace
+}  // namespace prism
+
+int main() {
+  using namespace prism;
+  Tier tiers[] = {
+      {"Rack (ToR, +0.6us)", net::CostModel::RackScale()},
+      {"Cluster (3-tier, +3us)", net::CostModel::ClusterScale()},
+      {"Data Center (+24us)", net::CostModel::DataCenterScale()},
+  };
+  std::printf(
+      "== Figure 2: indirect read latency vs network scale (512 B) ==\n");
+  std::printf("%-26s %12s %14s %18s %20s\n", "tier", "2x RDMA(us)",
+              "PRISM SW(us)", "PRISM BlueField(us)", "PRISM HW proj(us)");
+  for (const Tier& tier : tiers) {
+    std::printf("%-26s %12.1f %14.1f %18.1f %20.1f\n", tier.name,
+                MeasureRdma2Reads(tier.model),
+                MeasurePrismIndirect(tier.model, core::Deployment::kSoftware),
+                MeasurePrismIndirect(tier.model,
+                                     core::Deployment::kBlueField),
+                MeasurePrismIndirect(
+                    tier.model, core::Deployment::kHardwareProjected));
+  }
+  return 0;
+}

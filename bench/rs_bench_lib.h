@@ -1,0 +1,114 @@
+// Shared rig for the Figure 6 / Figure 7 replicated-block-store benchmarks.
+#ifndef PRISM_BENCH_RS_BENCH_LIB_H_
+#define PRISM_BENCH_RS_BENCH_LIB_H_
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/rs/abd_lock.h"
+#include "src/rs/prism_rs.h"
+
+namespace prism::bench {
+
+// Scaled-down store (DESIGN.md §1): 16 K blocks (2 K fast) instead of the
+// paper's 8 M; identical 512 B blocks, 3 replicas, 50% writes.
+inline uint64_t RsBlockCount() { return FastMode() ? 2048 : 16384; }
+constexpr uint64_t kRsBlockSize = 512;
+constexpr int kRsReplicas = 3;
+
+inline workload::LoadPoint RunPrismRsPoint(int n_clients, double write_frac,
+                                           double zipf_theta,
+                                           const BenchWindows& windows,
+                                           uint64_t seed) {
+  sim::Simulator sim;
+  net::Fabric fabric(&sim, net::CostModel::EvalCluster40G());
+  rs::PrismRsOptions opts;
+  opts.n_blocks = RsBlockCount();
+  opts.block_size = kRsBlockSize;
+  opts.buffers_per_replica = RsBlockCount() + 8192;
+  rs::PrismRsCluster cluster(&fabric, kRsReplicas, opts);
+  auto client_hosts = AddClientHosts(fabric);
+  std::vector<std::unique_ptr<rs::PrismRsClient>> clients;
+  for (int c = 0; c < n_clients; ++c) {
+    clients.push_back(std::make_unique<rs::PrismRsClient>(
+        &fabric, client_hosts[static_cast<size_t>(c) % client_hosts.size()],
+        &cluster, static_cast<uint16_t>(c + 1)));
+  }
+  Rng master(seed);
+  std::vector<Rng> rngs;
+  for (int c = 0; c < n_clients; ++c) rngs.push_back(master.Fork());
+  workload::KeyChooser chooser(RsBlockCount(), zipf_theta);
+  auto loop = [&](int c, workload::Recorder* recorder) -> sim::Task<void> {
+    rs::PrismRsClient* client = clients[static_cast<size_t>(c)].get();
+    Rng* rng = &rngs[static_cast<size_t>(c)];
+    while (sim.Now() < recorder->measure_end()) {
+      const uint64_t block = chooser.Next(*rng);
+      const sim::TimePoint op_start = sim.Now();
+      if (rng->NextDouble() < write_frac) {
+        Status s = co_await client->Put(
+            block, Bytes(kRsBlockSize, static_cast<uint8_t>(c)));
+        PRISM_CHECK(s.ok()) << s;
+      } else {
+        auto r = co_await client->Get(block);
+        PRISM_CHECK(r.ok()) << r.status();
+      }
+      recorder->Record(op_start);
+    }
+    client->FlushReclaim();
+  };
+  return RunClosedLoop(sim, n_clients, windows, loop);
+}
+
+inline workload::LoadPoint RunAbdLockPoint(int n_clients, double write_frac,
+                                           double zipf_theta,
+                                           rdma::Backend backend,
+                                           const BenchWindows& windows,
+                                           uint64_t seed) {
+  sim::Simulator sim;
+  net::Fabric fabric(&sim, net::CostModel::EvalCluster40G());
+  rs::AbdLockOptions opts;
+  opts.n_blocks = RsBlockCount();
+  opts.block_size = kRsBlockSize;
+  opts.backend = backend;
+  rs::AbdLockCluster cluster(&fabric, kRsReplicas, opts);
+  auto client_hosts = AddClientHosts(fabric);
+  std::vector<std::unique_ptr<rs::AbdLockClient>> clients;
+  for (int c = 0; c < n_clients; ++c) {
+    clients.push_back(std::make_unique<rs::AbdLockClient>(
+        &fabric, client_hosts[static_cast<size_t>(c) % client_hosts.size()],
+        &cluster, static_cast<uint16_t>(c + 1), seed * 31 + 7));
+  }
+  Rng master(seed);
+  std::vector<Rng> rngs;
+  for (int c = 0; c < n_clients; ++c) rngs.push_back(master.Fork());
+  workload::KeyChooser chooser(RsBlockCount(), zipf_theta);
+  auto loop = [&](int c, workload::Recorder* recorder) -> sim::Task<void> {
+    rs::AbdLockClient* client = clients[static_cast<size_t>(c)].get();
+    Rng* rng = &rngs[static_cast<size_t>(c)];
+    while (sim.Now() < recorder->measure_end()) {
+      const uint64_t block = chooser.Next(*rng);
+      const sim::TimePoint op_start = sim.Now();
+      if (rng->NextDouble() < write_frac) {
+        Status s = co_await client->Put(
+            block, Bytes(kRsBlockSize, static_cast<uint8_t>(c)));
+        if (!s.ok()) {
+          recorder->RecordAbort();  // lock-acquisition exhaustion
+          continue;
+        }
+      } else {
+        auto r = co_await client->Get(block);
+        if (!r.ok()) {
+          recorder->RecordAbort();
+          continue;
+        }
+      }
+      recorder->Record(op_start);
+    }
+  };
+  return RunClosedLoop(sim, n_clients, windows, loop);
+}
+
+}  // namespace prism::bench
+
+#endif  // PRISM_BENCH_RS_BENCH_LIB_H_

@@ -1,0 +1,125 @@
+// Shared rig for the Figure 9 / Figure 10 transaction benchmarks.
+//
+// Workload: YCSB-T style short read-modify-write transactions (read one
+// record, write it back modified) over a single shard running the full
+// distributed commit protocol, as in §8.3.
+#ifndef PRISM_BENCH_TX_BENCH_LIB_H_
+#define PRISM_BENCH_TX_BENCH_LIB_H_
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/tx/farm.h"
+#include "src/tx/prism_tx.h"
+
+namespace prism::bench {
+
+inline uint64_t TxKeyCount() { return FastMode() ? 4096 : 32768; }
+constexpr uint64_t kTxValueSize = 512;
+
+inline workload::LoadPoint RunPrismTxPoint(int n_clients, double zipf_theta,
+                                           const BenchWindows& windows,
+                                           uint64_t seed) {
+  sim::Simulator sim;
+  net::Fabric fabric(&sim, net::CostModel::EvalCluster40G());
+  tx::PrismTxOptions opts;
+  opts.keys_per_shard = TxKeyCount();
+  opts.value_size = kTxValueSize;
+  opts.buffers_per_shard = TxKeyCount() + 8192;
+  tx::PrismTxCluster cluster(&fabric, /*n_shards=*/1, opts);
+  for (uint64_t k = 0; k < TxKeyCount(); ++k) {
+    PRISM_CHECK(cluster.LoadKey(k, Bytes(kTxValueSize, 0x11)).ok());
+  }
+  auto client_hosts = AddClientHosts(fabric);
+  std::vector<std::unique_ptr<tx::PrismTxClient>> clients;
+  for (int c = 0; c < n_clients; ++c) {
+    clients.push_back(std::make_unique<tx::PrismTxClient>(
+        &fabric, client_hosts[static_cast<size_t>(c) % client_hosts.size()],
+        &cluster, static_cast<uint16_t>(c + 1)));
+  }
+  Rng master(seed);
+  std::vector<Rng> rngs;
+  for (int c = 0; c < n_clients; ++c) rngs.push_back(master.Fork());
+  workload::KeyChooser chooser(TxKeyCount(), zipf_theta);
+  auto loop = [&](int c, workload::Recorder* recorder) -> sim::Task<void> {
+    tx::PrismTxClient* client = clients[static_cast<size_t>(c)].get();
+    Rng* rng = &rngs[static_cast<size_t>(c)];
+    while (sim.Now() < recorder->measure_end()) {
+      const uint64_t key = chooser.Next(*rng);
+      const sim::TimePoint op_start = sim.Now();
+      tx::Transaction txn = client->Begin();
+      auto v = co_await client->Read(txn, key);
+      if (!v.ok()) {
+        recorder->RecordAbort();
+        continue;
+      }
+      Bytes updated = std::move(*v);
+      updated[0] = static_cast<uint8_t>(updated[0] + 1);
+      client->Write(txn, key, std::move(updated));
+      Status s = co_await client->Commit(txn);
+      if (s.ok()) {
+        recorder->Record(op_start);
+      } else {
+        recorder->RecordAbort();  // OCC conflict; YCSB-T retries as new txn
+      }
+    }
+    client->FlushReclaim();
+  };
+  return RunClosedLoop(sim, n_clients, windows, loop);
+}
+
+inline workload::LoadPoint RunFarmPoint(int n_clients, double zipf_theta,
+                                        rdma::Backend backend,
+                                        const BenchWindows& windows,
+                                        uint64_t seed) {
+  sim::Simulator sim;
+  net::Fabric fabric(&sim, net::CostModel::EvalCluster40G());
+  tx::FarmOptions opts;
+  opts.keys_per_shard = TxKeyCount();
+  opts.value_size = kTxValueSize;
+  opts.backend = backend;
+  tx::FarmCluster cluster(&fabric, /*n_shards=*/1, opts);
+  for (uint64_t k = 0; k < TxKeyCount(); ++k) {
+    PRISM_CHECK(cluster.LoadKey(k, Bytes(kTxValueSize, 0x11)).ok());
+  }
+  auto client_hosts = AddClientHosts(fabric);
+  std::vector<std::unique_ptr<tx::FarmClient>> clients;
+  for (int c = 0; c < n_clients; ++c) {
+    clients.push_back(std::make_unique<tx::FarmClient>(
+        &fabric, client_hosts[static_cast<size_t>(c) % client_hosts.size()],
+        &cluster, static_cast<uint16_t>(c + 1)));
+  }
+  Rng master(seed);
+  std::vector<Rng> rngs;
+  for (int c = 0; c < n_clients; ++c) rngs.push_back(master.Fork());
+  workload::KeyChooser chooser(TxKeyCount(), zipf_theta);
+  auto loop = [&](int c, workload::Recorder* recorder) -> sim::Task<void> {
+    tx::FarmClient* client = clients[static_cast<size_t>(c)].get();
+    Rng* rng = &rngs[static_cast<size_t>(c)];
+    while (sim.Now() < recorder->measure_end()) {
+      const uint64_t key = chooser.Next(*rng);
+      const sim::TimePoint op_start = sim.Now();
+      tx::Transaction txn = client->Begin();
+      auto v = co_await client->Read(txn, key);
+      if (!v.ok()) {
+        recorder->RecordAbort();
+        continue;
+      }
+      Bytes updated = std::move(*v);
+      updated[0] = static_cast<uint8_t>(updated[0] + 1);
+      client->Write(txn, key, std::move(updated));
+      Status s = co_await client->Commit(txn);
+      if (s.ok()) {
+        recorder->Record(op_start);
+      } else {
+        recorder->RecordAbort();
+      }
+    }
+  };
+  return RunClosedLoop(sim, n_clients, windows, loop);
+}
+
+}  // namespace prism::bench
+
+#endif  // PRISM_BENCH_TX_BENCH_LIB_H_

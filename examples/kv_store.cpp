@@ -1,0 +1,85 @@
+// Example: PRISM-KV session (§6) — a key-value store whose GETs and PUTs
+// both run entirely as one-sided PRISM operations.
+//
+// Demonstrates loads, reads, overwrites, deletes, concurrent writers racing
+// on a hot key (CAS retries), and buffer reclamation.
+#include <cstdio>
+#include <string>
+
+#include "src/kv/prism_kv.h"
+#include "src/sim/task.h"
+
+using namespace prism;
+using sim::Task;
+
+int main() {
+  sim::Simulator sim;
+  net::Fabric fabric(&sim, net::CostModel::EvalCluster40G());
+  net::HostId server_host = fabric.AddHost("kv-server");
+
+  kv::PrismKvOptions opts;
+  opts.n_buckets = 1024;
+  opts.n_buffers = 2048;
+  kv::PrismKvServer server(&fabric, server_host, opts);
+
+  net::HostId alice_host = fabric.AddHost("alice");
+  net::HostId bob_host = fabric.AddHost("bob");
+  kv::PrismKvClient alice(&fabric, alice_host, &server);
+  kv::PrismKvClient bob(&fabric, bob_host, &server);
+
+  std::printf("== PRISM-KV example ==\n\n");
+
+  // Basic session.
+  sim::Spawn([&]() -> Task<void> {
+    (void)co_await alice.Put("user:1", BytesOfString("alice@example.com"));
+    (void)co_await alice.Put("user:2", BytesOfString("bob@example.com"));
+    auto v = co_await alice.Get("user:1");
+    std::printf("GET user:1     -> \"%s\"   (one indirect READ, ~6 us)\n",
+                StringOfBytes(*v).c_str());
+
+    (void)co_await alice.Put("user:1", BytesOfString("alice@new.example"));
+    v = co_await alice.Get("user:1");
+    std::printf("after PUT      -> \"%s\"   (out-of-place update, no CRCs)\n",
+                StringOfBytes(*v).c_str());
+
+    (void)co_await alice.Delete("user:2");
+    auto missing = co_await alice.Get("user:2");
+    std::printf("after DELETE   -> %s\n", missing.status().ToString().c_str());
+  });
+  sim.Run();
+
+  // Two writers race on one key: PRISM-KV's conditional CAS ensures
+  // last-writer-wins with no torn values, and losers retry.
+  int done = 0;
+  sim::Spawn([&]() -> Task<void> {
+    for (int i = 0; i < 10; ++i) {
+      (void)co_await alice.Put("hot", BytesOfString("alice-" +
+                                                    std::to_string(i)));
+    }
+    done++;
+  });
+  sim::Spawn([&]() -> Task<void> {
+    for (int i = 0; i < 10; ++i) {
+      (void)co_await bob.Put("hot", BytesOfString("bob-" +
+                                                  std::to_string(i)));
+    }
+    done++;
+  });
+  sim.Run();
+  sim::Spawn([&]() -> Task<void> {
+    auto v = co_await alice.Get("hot");
+    std::printf("\ncontended key  -> \"%s\" after 20 racing PUTs "
+                "(%llu CAS retries across both writers)\n",
+                StringOfBytes(*v).c_str(),
+                static_cast<unsigned long long>(alice.cas_failures() +
+                                                bob.cas_failures()));
+    alice.FlushReclaim();
+    bob.FlushReclaim();
+  });
+  sim.Run();
+  std::printf("free buffers   -> %zu of %llu (displaced versions recycled "
+              "through the reclamation daemon)\n",
+              server.free_buffers(),
+              static_cast<unsigned long long>(opts.n_buffers - 1));
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Example: PRISM-RS (§7) — a linearizable replicated block store built on
+// multi-writer ABD with PRISM chains, surviving replica failure with zero
+// replica-CPU involvement.
+#include <cstdio>
+
+#include "src/rs/prism_rs.h"
+#include "src/sim/task.h"
+
+using namespace prism;
+using sim::Task;
+
+int main() {
+  sim::Simulator sim;
+  net::Fabric fabric(&sim, net::CostModel::EvalCluster40G());
+
+  rs::PrismRsOptions opts;
+  opts.n_blocks = 128;
+  opts.block_size = 64;
+  opts.buffers_per_replica = 1024;
+  rs::PrismRsCluster cluster(&fabric, /*n_replicas=*/3, opts);  // f = 1
+
+  net::HostId writer_host = fabric.AddHost("writer");
+  net::HostId reader_host = fabric.AddHost("reader");
+  rs::PrismRsClient writer(&fabric, writer_host, &cluster, /*client_id=*/1);
+  rs::PrismRsClient reader(&fabric, reader_host, &cluster, /*client_id=*/2);
+
+  auto Block = [](const char* text) {
+    Bytes b(64, 0);
+    for (size_t i = 0; text[i] != '\0' && i < b.size(); ++i) {
+      b[i] = static_cast<uint8_t>(text[i]);
+    }
+    return b;
+  };
+  auto Show = [](const Bytes& b) {
+    std::string s;
+    for (uint8_t c : b) {
+      if (c == 0) break;
+      s.push_back(static_cast<char>(c));
+    }
+    return s;
+  };
+
+  std::printf("== PRISM-RS example: 3 replicas, tolerates 1 failure ==\n\n");
+  sim::Spawn([&]() -> Task<void> {
+    rs::Tag tag;
+    (void)co_await writer.Put(0, Block("v1: genesis block"), &tag);
+    std::printf("PUT block 0 -> tag (ts=%llu, client=%u)\n",
+                static_cast<unsigned long long>(tag.ts), tag.client);
+
+    auto v = co_await reader.Get(0, &tag);
+    std::printf("GET block 0 -> \"%s\" at tag ts=%llu\n",
+                Show(*v).c_str(), static_cast<unsigned long long>(tag.ts));
+
+    // Kill one replica: ABD still makes quorum (f+1 = 2 of 3).
+    std::printf("\n-- killing replica 1 --\n");
+    fabric.SetHostUp(1, false);
+
+    (void)co_await writer.Put(0, Block("v2: written with a replica down"),
+                              &tag);
+    std::printf("PUT with 2/3 replicas -> OK (ts=%llu)\n",
+                static_cast<unsigned long long>(tag.ts));
+    v = co_await reader.Get(0);
+    std::printf("GET with 2/3 replicas -> \"%s\"\n", Show(*v).c_str());
+
+    // Bring it back; the next write-back phase repairs it lazily.
+    std::printf("\n-- replica 1 recovers --\n");
+    fabric.SetHostUp(1, true);
+    v = co_await reader.Get(0);
+    std::printf("GET after recovery    -> \"%s\" (write-back propagated "
+                "the latest tag to a quorum)\n",
+                Show(*v).c_str());
+
+    // Two more failures would block progress — ABD's availability bound.
+    fabric.SetHostUp(0, false);
+    fabric.SetHostUp(2, false);
+    auto blocked = co_await reader.Get(0);
+    std::printf("\nGET with 1/3 replicas -> %s (quorum unreachable, "
+                "as ABD requires)\n",
+                blocked.status().ToString().c_str());
+  });
+  sim.Run();
+  return 0;
+}

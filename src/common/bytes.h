@@ -1,0 +1,94 @@
+// Byte-buffer utilities: the wire and memory representation used everywhere.
+//
+// Bytes is an owned, contiguous byte string; ByteView a non-owning view.
+// Little-endian load/store helpers are used for every structure laid out in
+// simulated host memory (hash-table slots, ⟨tag,addr⟩ metadata, OCC words),
+// so layouts are byte-accurate and independent of host struct padding.
+#ifndef PRISM_SRC_COMMON_BYTES_H_
+#define PRISM_SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace prism {
+
+using Bytes = std::vector<uint8_t>;
+using ByteView = std::span<const uint8_t>;
+using MutableByteView = std::span<uint8_t>;
+
+// ---- little-endian scalar accessors on raw pointers ----
+
+inline uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;  // all supported hosts are little-endian; asserted in bytes.cc
+}
+
+inline uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline void StoreU64(uint8_t* p, uint64_t v) { std::memcpy(p, &v, sizeof(v)); }
+inline void StoreU32(uint8_t* p, uint32_t v) { std::memcpy(p, &v, sizeof(v)); }
+
+// ---- view-checked accessors ----
+
+inline uint64_t LoadU64(ByteView view, size_t offset = 0) {
+  PRISM_CHECK_LE(offset + sizeof(uint64_t), view.size());
+  return LoadU64(view.data() + offset);
+}
+
+inline uint32_t LoadU32(ByteView view, size_t offset = 0) {
+  PRISM_CHECK_LE(offset + sizeof(uint32_t), view.size());
+  return LoadU32(view.data() + offset);
+}
+
+inline void StoreU64(MutableByteView view, size_t offset, uint64_t v) {
+  PRISM_CHECK_LE(offset + sizeof(uint64_t), view.size());
+  StoreU64(view.data() + offset, v);
+}
+
+// ---- Bytes construction helpers ----
+
+inline Bytes BytesOfU64(uint64_t v) {
+  Bytes b(sizeof(v));
+  StoreU64(b.data(), v);
+  return b;
+}
+
+// Concatenation of two 64-bit words, used for wide (16-byte) CAS operands
+// such as PRISM-RS's ⟨tag,addr⟩ and PRISM-TX's PW|PR pairs. Word `hi` is the
+// *first* 8 bytes in memory order (matching the structures' layouts).
+inline Bytes BytesOfU64Pair(uint64_t first, uint64_t second) {
+  Bytes b(16);
+  StoreU64(b.data(), first);
+  StoreU64(b.data() + 8, second);
+  return b;
+}
+
+inline Bytes BytesOfString(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+inline std::string StringOfBytes(ByteView b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+// A bitmask of `bytes` 0xff bytes starting at byte `offset` within a width-
+// `width` operand; used to build enhanced-CAS compare/swap masks that select
+// individual fields of a packed structure.
+Bytes FieldMask(size_t width, size_t offset, size_t bytes);
+
+// Hex dump for diagnostics ("deadbeef..." lowercase, no separators).
+std::string HexDump(ByteView b);
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_COMMON_BYTES_H_

@@ -1,0 +1,55 @@
+#include "src/common/hash.h"
+
+#include <array>
+
+namespace prism {
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  return table;
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(ByteView data) {
+  uint64_t h = kFnvOffset;
+  for (uint8_t byte : data) {
+    h ^= byte;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t Fnv1a64(std::string_view data) {
+  return Fnv1a64(ByteView(reinterpret_cast<const uint8_t*>(data.data()),
+                          data.size()));
+}
+
+uint32_t Crc32(const uint8_t* data, size_t len) {
+  const auto& table = CrcTable();
+  uint32_t c = 0xffffffffu;
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ data[i]) & 0xff] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+uint32_t Crc32(ByteView data) { return Crc32(data.data(), data.size()); }
+
+}  // namespace prism

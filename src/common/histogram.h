@@ -1,0 +1,64 @@
+// Latency statistics used by the benchmark harnesses.
+//
+// LatencyHistogram is a log-bucketed histogram over nanosecond samples with
+// exact mean (kept as a running sum) and approximate percentiles; buckets use
+// a fixed geometric layout so merging histograms from many simulated clients
+// is trivial. Summary is the printable digest every bench row reports.
+#ifndef PRISM_SRC_COMMON_HISTOGRAM_H_
+#define PRISM_SRC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prism {
+
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(int64_t nanos);
+  void Merge(const LatencyHistogram& other);
+  void Reset();
+
+  int64_t count() const { return count_; }
+  double MeanNanos() const;
+  int64_t MinNanos() const { return count_ == 0 ? 0 : min_; }
+  int64_t MaxNanos() const { return count_ == 0 ? 0 : max_; }
+
+  // Approximate quantile (q in [0,1]) by linear interpolation inside the
+  // containing bucket. Exact at q=0 and q=1.
+  int64_t QuantileNanos(double q) const;
+
+  struct Summary {
+    int64_t count = 0;
+    double mean_us = 0;
+    double p50_us = 0;
+    double p99_us = 0;
+    double min_us = 0;
+    double max_us = 0;
+  };
+  Summary Summarize() const;
+
+ private:
+  // Bucket i covers [Lower(i), Lower(i+1)). Sub-linear growth: 64 linear
+  // buckets per power of two gives <1.6% relative error.
+  static size_t BucketFor(int64_t nanos);
+  static int64_t BucketLower(size_t index);
+
+  static constexpr int kSubBuckets = 64;
+  static constexpr int kMaxBuckets = 64 * kSubBuckets;
+
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  double sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+// Mean over a plain sequence of samples; convenience for small tests.
+double MeanOf(const std::vector<int64_t>& samples);
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_COMMON_HISTOGRAM_H_

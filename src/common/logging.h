@@ -1,0 +1,87 @@
+// Minimal CHECK/LOG machinery.
+//
+// PRISM_CHECK(cond) << "msg" aborts with file:line on failure; the streamed
+// message is only evaluated on the failure path. PRISM_DCHECK compiles out in
+// NDEBUG builds. Logging is intentionally tiny: the simulator is
+// deterministic and single threaded, so a global stderr sink suffices.
+#ifndef PRISM_SRC_COMMON_LOGGING_H_
+#define PRISM_SRC_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace prism {
+namespace internal {
+
+// Accumulates the streamed failure message and aborts in the destructor.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+            << " ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows streamed operands when the check passes.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace prism
+
+#define PRISM_CHECK(cond)                                          \
+  (cond) ? (void)0                                                 \
+         : (void)(::prism::internal::CheckFailure(__FILE__, __LINE__, #cond))
+
+// CHECK that allows streaming: use as PRISM_CHECK(x) << "detail". Implemented
+// via a ternary into a sink so the detail is not evaluated on success.
+#undef PRISM_CHECK
+#define PRISM_CHECK(cond)                                                     \
+  switch (0)                                                                  \
+  case 0:                                                                     \
+  default:                                                                    \
+    (cond) ? (void)0 : ::prism::internal::Voidify() &                         \
+        ::prism::internal::CheckFailure(__FILE__, __LINE__, #cond)
+
+namespace prism::internal {
+// Lowest-precedence sink that turns the CheckFailure stream into void so the
+// ternary's arms have matching types.
+struct Voidify {
+  void operator&(CheckFailure&) {}
+  void operator&(CheckFailure&&) {}
+};
+}  // namespace prism::internal
+
+#ifdef NDEBUG
+#define PRISM_DCHECK(cond) \
+  while (false) PRISM_CHECK(cond)
+#else
+#define PRISM_DCHECK(cond) PRISM_CHECK(cond)
+#endif
+
+#define PRISM_CHECK_EQ(a, b) PRISM_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PRISM_CHECK_NE(a, b) PRISM_CHECK((a) != (b))
+#define PRISM_CHECK_LT(a, b) PRISM_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PRISM_CHECK_LE(a, b) PRISM_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PRISM_CHECK_GT(a, b) PRISM_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PRISM_CHECK_GE(a, b) PRISM_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // PRISM_SRC_COMMON_LOGGING_H_

@@ -1,0 +1,32 @@
+#include "src/common/status.h"
+
+namespace prism {
+
+std::string_view CodeName(Code code) {
+  switch (code) {
+    case Code::kOk: return "OK";
+    case Code::kInvalidArgument: return "INVALID_ARGUMENT";
+    case Code::kNotFound: return "NOT_FOUND";
+    case Code::kAlreadyExists: return "ALREADY_EXISTS";
+    case Code::kOutOfRange: return "OUT_OF_RANGE";
+    case Code::kPermissionDenied: return "PERMISSION_DENIED";
+    case Code::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case Code::kAborted: return "ABORTED";
+    case Code::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case Code::kUnavailable: return "UNAVAILABLE";
+    case Code::kTimedOut: return "TIMED_OUT";
+    case Code::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  std::string out(CodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace prism

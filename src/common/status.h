@@ -1,0 +1,173 @@
+// Status and Result<T>: the error model used throughout the PRISM codebase.
+//
+// No exceptions cross module boundaries (protocol code runs inside C++20
+// coroutines where we want explicit, checkable error flow). Status carries a
+// code plus an optional message; Result<T> is a Status-or-value sum type.
+#ifndef PRISM_SRC_COMMON_STATUS_H_
+#define PRISM_SRC_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <optional>
+
+#include "src/common/logging.h"
+
+namespace prism {
+
+// Error codes. The RDMA-flavoured codes map onto wire NACK/completion errors
+// (see rdma/verbs.h); the generic ones are used by applications.
+enum class Code : uint8_t {
+  kOk = 0,
+  kInvalidArgument,     // malformed request
+  kNotFound,            // key/object does not exist
+  kAlreadyExists,       // insert of duplicate
+  kOutOfRange,          // address/length outside a registered region
+  kPermissionDenied,    // rkey mismatch or missing access rights
+  kResourceExhausted,   // free list empty, queue full, table full
+  kAborted,             // transaction/CAS lost a race; retry is reasonable
+  kFailedPrecondition,  // conditional chain predecessor failed
+  kUnavailable,         // host down / message undeliverable
+  kTimedOut,            // operation deadline exceeded
+  kInternal,            // invariant violation (bug)
+};
+
+std::string_view CodeName(Code code);
+
+// A cheap, value-semantic status. kOk statuses carry no allocation.
+class Status {
+ public:
+  Status() : code_(Code::kOk) {}
+  explicit Status(Code code) : code_(code) {}
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Convenience constructors, mirroring absl-style factories.
+inline Status OkStatus() { return Status(); }
+inline Status InvalidArgument(std::string msg) {
+  return Status(Code::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) {
+  return Status(Code::kNotFound, std::move(msg));
+}
+inline Status AlreadyExists(std::string msg) {
+  return Status(Code::kAlreadyExists, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) {
+  return Status(Code::kOutOfRange, std::move(msg));
+}
+inline Status PermissionDenied(std::string msg) {
+  return Status(Code::kPermissionDenied, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(Code::kResourceExhausted, std::move(msg));
+}
+inline Status Aborted(std::string msg) {
+  return Status(Code::kAborted, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(Code::kFailedPrecondition, std::move(msg));
+}
+inline Status Unavailable(std::string msg) {
+  return Status(Code::kUnavailable, std::move(msg));
+}
+inline Status TimedOut(std::string msg) {
+  return Status(Code::kTimedOut, std::move(msg));
+}
+inline Status Internal(std::string msg) {
+  return Status(Code::kInternal, std::move(msg));
+}
+
+// Result<T>: either a value or a non-OK Status.
+//
+// Deliberately implemented as optional<T> + Status rather than
+// std::variant<T, Status>: GCC 12's coroutine lowering miscompiles variant
+// temporaries materialized in co_await expressions (double destruction of
+// the active member — observed as heap corruption under ASan; see the
+// warning in sim/task.h). optional-based storage lowers cleanly.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so `return value;` and `return SomeStatus();` work.
+  Result(T value) : value_(std::move(value)) {}       // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    PRISM_CHECK(!status_.ok());
+  }
+  Result(Code code) : status_(Status(code)) {         // NOLINT
+    PRISM_CHECK(code != Code::kOk);
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  Status status() const {
+    if (ok()) return OkStatus();
+    return status_;
+  }
+  Code code() const { return status().code(); }
+
+  const T& value() const& {
+    PRISM_CHECK(ok()) << "Result::value() on error: " << status();
+    return *value_;
+  }
+  T& value() & {
+    PRISM_CHECK(ok()) << "Result::value() on error: " << status();
+    return *value_;
+  }
+  T&& value() && {
+    PRISM_CHECK(ok()) << "Result::value() on error: " << status();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+// Propagation helpers. PRISM_ASSIGN_OR_RETURN needs a unique temp name.
+#define PRISM_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::prism::Status prism_status_tmp_ = (expr);      \
+    if (!prism_status_tmp_.ok()) {                   \
+      return prism_status_tmp_;                      \
+    }                                                \
+  } while (0)
+
+#define PRISM_CONCAT_INNER_(a, b) a##b
+#define PRISM_CONCAT_(a, b) PRISM_CONCAT_INNER_(a, b)
+
+#define PRISM_ASSIGN_OR_RETURN(lhs, expr)                          \
+  auto PRISM_CONCAT_(prism_result_, __LINE__) = (expr);            \
+  if (!PRISM_CONCAT_(prism_result_, __LINE__).ok()) {              \
+    return PRISM_CONCAT_(prism_result_, __LINE__).status();        \
+  }                                                                \
+  lhs = std::move(PRISM_CONCAT_(prism_result_, __LINE__)).value()
+
+}  // namespace prism
+
+#endif  // PRISM_SRC_COMMON_STATUS_H_

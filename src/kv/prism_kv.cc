@@ -1,0 +1,314 @@
+#include "src/kv/prism_kv.h"
+
+#include "src/common/hash.h"
+
+namespace prism::kv {
+
+using core::BoundedPtr;
+using core::Chain;
+using core::Op;
+using core::OpCode;
+
+Bytes EncodeRecord(const Bytes& key, const Bytes& value) {
+  Bytes record(8 + key.size() + value.size());
+  StoreU32(record.data(), static_cast<uint32_t>(key.size()));
+  StoreU32(record.data() + 4, static_cast<uint32_t>(value.size()));
+  std::memcpy(record.data() + 8, key.data(), key.size());
+  std::memcpy(record.data() + 8 + key.size(), value.data(), value.size());
+  return record;
+}
+
+Result<DecodedRecord> DecodeRecord(ByteView record) {
+  if (record.size() < 8) return InvalidArgument("record too short");
+  const uint32_t klen = LoadU32(record.data());
+  const uint32_t vlen = LoadU32(record.data() + 4);
+  if (record.size() < 8 + static_cast<size_t>(klen) + vlen) {
+    return InvalidArgument("record truncated");
+  }
+  DecodedRecord out;
+  out.key.assign(record.begin() + 8, record.begin() + 8 + klen);
+  out.value.assign(record.begin() + 8 + klen,
+                   record.begin() + 8 + klen + vlen);
+  return out;
+}
+
+PrismKvServer::PrismKvServer(net::Fabric* fabric, net::HostId host,
+                             PrismKvOptions opts)
+    : opts_(opts) {
+  std::vector<uint64_t> classes = opts.size_classes;
+  if (classes.empty()) classes.push_back(opts.buffer_size);
+  const uint64_t table_bytes = opts.n_buckets * kSlotSize;
+  uint64_t pool_bytes = 0;
+  for (uint64_t size : classes) pool_bytes += opts.n_buffers * size;
+  const uint64_t capacity =
+      table_bytes + pool_bytes + core::PrismServer::kOnNicBytes + (1 << 20);
+  mem_ = std::make_unique<rdma::AddressSpace>(capacity);
+  prism_ = std::make_unique<core::PrismServer>(fabric, host, opts.deployment,
+                                               mem_.get());
+  // One region covers the table and every buffer pool so indirect operations
+  // stay within a single rkey (§3.1's security rule).
+  auto region = mem_->CarveAndRegister(table_bytes + pool_bytes,
+                                       rdma::kRemoteAll);
+  PRISM_CHECK(region.ok()) << region.status();
+  region_ = *region;
+  table_base_ = region_.base;
+  // Buffer 0 of the first class is the shared tombstone marker
+  // (klen = 0xffffffff, vlen = 0).
+  rdma::Addr next = region_.base + table_bytes;
+  tombstone_addr_ = next;
+  StoreU32(mem_->RawAt(tombstone_addr_, 8), 0xffffffffu);
+  StoreU32(mem_->RawAt(tombstone_addr_, 8) + 4, 0);
+  bool first_class = true;
+  for (uint64_t size : classes) {
+    uint32_t queue = prism_->freelists().CreateQueue(size);
+    if (first_class) freelist_ = queue;
+    for (uint64_t i = first_class ? 1 : 0; i < opts.n_buffers; ++i) {
+      prism_->PostBuffers(queue, {next + i * size});
+    }
+    next += opts.n_buffers * size;
+    first_class = false;
+  }
+}
+
+namespace {
+bool IsTombstoneRecord(ByteView record) {
+  return record.size() >= 4 && LoadU32(record.data()) == 0xffffffffu;
+}
+}  // namespace
+
+PrismKvClient::PrismKvClient(net::Fabric* fabric, net::HostId self,
+                             PrismKvServer* server)
+    : fabric_(fabric),
+      server_(server),
+      prism_(fabric, self),
+      reclaim_(fabric, self, &server->prism(),
+               server->options().reclaim_batch) {
+  auto scratch = server->prism().AllocateScratch(16);
+  PRISM_CHECK(scratch.ok()) << scratch.status();
+  scratch_ = *scratch;
+}
+
+uint64_t PrismKvServer::HashBucket(const Bytes& key) const {
+  if (opts_.dense_key_hash && key.size() == 8) {
+    return LoadU64(key.data()) % opts_.n_buckets;
+  }
+  return Fnv1a64(ByteView(key)) % opts_.n_buckets;
+}
+
+Status PrismKvServer::LoadKey(const Bytes& key, ByteView value) {
+  const uint64_t h = HashBucket(key);
+  for (int probe = 0; probe < opts_.max_probes; ++probe) {
+    const uint64_t bucket = (h + static_cast<uint64_t>(probe)) %
+                            opts_.n_buckets;
+    if (mem_->LoadWord(slot_addr(bucket)) != 0) continue;  // occupied
+    Bytes record = EncodeRecord(key, Bytes(value.begin(), value.end()));
+    PRISM_ASSIGN_OR_RETURN(uint32_t queue,
+                           prism_->freelists().QueueFor(record.size()));
+    PRISM_ASSIGN_OR_RETURN(rdma::Addr buf,
+                           prism_->freelists().Pop(queue, record.size()));
+    mem_->Store(buf, record);
+    core::BoundedPtr bp{buf, record.size()};
+    mem_->Store(slot_addr(bucket), bp.ToBytes());
+    return OkStatus();
+  }
+  return ResourceExhausted("no free slot in probe range");
+}
+
+uint64_t PrismKvClient::HashBucket(const Bytes& key) const {
+  return server_->HashBucket(key);
+}
+
+sim::Task<PrismKvClient::ProbeOutcome> PrismKvClient::Probe(
+    std::shared_ptr<const Bytes> key, bool for_write) {
+  const PrismKvOptions& opts = server_->options();
+  const uint64_t h = HashBucket(*key);
+  ProbeOutcome out;
+  bool have_tombstone = false;
+  // A write probe only needs the record header + key to identify the slot
+  // (the CAS compares the resolved address); requesting just those bytes
+  // keeps PUT's first round trip cheap on the wire — without it a 50/50
+  // workload wastes a full value transfer per PUT.
+  const uint64_t probe_len =
+      for_write ? 8 + key->size() : opts.buffer_size;
+  for (int probe = 0; probe < opts.max_probes; ++probe) {
+    const uint64_t bucket = (h + static_cast<uint64_t>(probe)) %
+                            opts.n_buckets;
+    Op read = Op::IndirectRead(server_->rkey(), server_->slot_addr(bucket),
+                               probe_len, /*bounded=*/true);
+    auto r = co_await prism_.ExecuteOne(&server_->prism(), std::move(read));
+    round_trips_++;
+    if (!r.ok()) {
+      out.status = r.status();
+      co_return out;
+    }
+    if (!r->status.ok()) {
+      // NACK dereferencing the slot: a null pointer, i.e. a never-used slot.
+      // That ends the probe chain: a miss for readers, the insertion point
+      // for writers (unless an earlier tombstone is reusable).
+      if (for_write) {
+        if (!have_tombstone) {
+          out.bucket = bucket;
+          out.old_ptr = 0;
+        }
+        out.found_key = false;
+        out.status = OkStatus();
+      } else {
+        out.status = NotFound("key not present");
+      }
+      co_return out;
+    }
+    if (IsTombstoneRecord(r->data)) {
+      // Deleted slot: readers keep probing; writers remember the first one
+      // as a reusable insertion point but must keep scanning for the key.
+      if (for_write && !have_tombstone) {
+        have_tombstone = true;
+        out.bucket = bucket;
+        out.old_ptr = r->resolved_addr;  // tombstone marker address
+      }
+      continue;
+    }
+    if (for_write) {
+      // Truncated record: header + key prefix is enough for a match check.
+      if (r->data.size() >= 8) {
+        const uint32_t klen = LoadU32(r->data.data());
+        if (klen == key->size() && r->data.size() >= 8 + klen &&
+            std::memcmp(r->data.data() + 8, key->data(), klen) == 0) {
+          out.bucket = bucket;
+          out.old_ptr = r->resolved_addr;
+          out.found_key = true;
+          out.status = OkStatus();
+          co_return out;
+        }
+      }
+      continue;  // different key: keep probing
+    }
+    auto record = DecodeRecord(r->data);
+    if (!record.ok()) {
+      out.status = record.status();
+      co_return out;
+    }
+    if (record->key == *key) {
+      out.bucket = bucket;
+      out.old_ptr = r->resolved_addr;
+      out.record = std::move(r->data);
+      out.found_key = true;
+      out.status = OkStatus();
+      co_return out;
+    }
+    // Hash collision: keep probing.
+  }
+  probe_overflows_++;
+  out.status = for_write ? ResourceExhausted("probe limit hit (table full?)")
+                         : NotFound("key not present (probe limit)");
+  co_return out;
+}
+
+sim::Task<Result<Bytes>> PrismKvClient::Get(const std::string& key) {
+  auto key_ptr = std::make_shared<const Bytes>(BytesOfString(key));
+  ProbeOutcome probe = co_await Probe(key_ptr, /*for_write=*/false);
+  if (!probe.status.ok()) co_return probe.status;
+  if (!probe.found_key) co_return NotFound("key not present");
+  auto record = DecodeRecord(probe.record);
+  if (!record.ok()) co_return record.status();
+  co_return std::move(record->value);
+}
+
+sim::Task<Status> PrismKvClient::Put(const std::string& key, Bytes value) {
+  const PrismKvOptions& opts = server_->options();
+  if (value.size() > opts.max_value_size) {
+    co_return InvalidArgument("value exceeds max_value_size");
+  }
+  auto key_ptr = std::make_shared<const Bytes>(BytesOfString(key));
+  auto record = std::make_shared<const Bytes>(EncodeRecord(*key_ptr, value));
+  const uint64_t new_bound = record->size();
+  // Pick the smallest size class that fits (Â§3.2). The class table is
+  // static server configuration the client knows.
+  auto queue = server_->QueueForRecord(record->size());
+  if (!queue.ok()) co_return queue.status();
+
+  for (int attempt = 0; attempt < opts.max_retries; ++attempt) {
+    // RT1: probe for the slot and learn the old buffer address (§6.2: "one
+    // indirect READ to identify the correct hash table slot").
+    ProbeOutcome probe = co_await Probe(key_ptr, /*for_write=*/true);
+    if (!probe.status.ok()) co_return probe.status;
+
+    // RT2: the §3.5 chain — WRITE bound to scratch, ALLOCATE+redirect the
+    // record, CAS-install ⟨ptr,bound⟩ iff the old pointer is unchanged.
+    Chain chain;
+    chain.push_back(
+        Op::Write(server_->rkey(), scratch_ + 8, BytesOfU64(new_bound)));
+    chain.push_back(Op::Allocate(server_->rkey(), *queue, *record)
+                        .RedirectTo(scratch_)
+                        .Conditional());
+    Op install = Op::CompareSwapCas(
+        server_->rkey(), server_->slot_addr(probe.bucket),
+        /*compare=*/BytesOfU64Pair(probe.old_ptr, 0),
+        /*swap=*/BytesOfU64(scratch_),
+        /*cmp_mask=*/FieldMask(16, 0, 8),   // compare the pointer field only
+        /*swap_mask=*/FieldMask(16, 0, 16));  // install pointer + bound
+    install.data_indirect = true;  // swap operand = 16 B at scratch
+    install.conditional = true;
+    chain.push_back(std::move(install));
+
+    auto r = co_await prism_.Execute(&server_->prism(), std::move(chain));
+    round_trips_++;
+    if (!r.ok()) co_return r.status();
+    const core::OpResult& alloc = (*r)[1];
+    const core::OpResult& cas = (*r)[2];
+    if (!alloc.executed || !alloc.status.ok()) {
+      co_return alloc.executed ? alloc.status
+                               : FailedPrecondition("allocate skipped");
+    }
+    if (cas.executed && cas.cas_swapped) {
+      // Success: retire the displaced buffer (if any) to its size class's
+      // free list. The CAS returns the old â¨ptr,boundâ©; the bound equals
+      // the old record size, which identifies the class it was popped from.
+      if (probe.old_ptr != 0 && probe.old_ptr != server_->tombstone_addr()) {
+        const uint64_t old_bound = LoadU64(cas.data.data() + 8);
+        auto old_queue = server_->QueueForRecord(old_bound);
+        if (old_queue.ok()) {
+          reclaim_.Free(*old_queue, probe.old_ptr);
+        }
+      }
+      co_return OkStatus();
+    }
+    // Lost the race: a concurrent writer changed the slot after our probe.
+    // Reclaim the buffer we allocated and retry from the probe.
+    cas_failures_++;
+    reclaim_.Free(*queue, alloc.resolved_addr);
+  }
+  co_return Aborted("put lost too many CAS races");
+}
+
+sim::Task<Status> PrismKvClient::Delete(const std::string& key) {
+  const PrismKvOptions& opts = server_->options();
+  auto key_ptr = std::make_shared<const Bytes>(BytesOfString(key));
+  for (int attempt = 0; attempt < opts.max_retries; ++attempt) {
+    ProbeOutcome probe = co_await Probe(key_ptr, /*for_write=*/false);
+    if (!probe.status.ok()) co_return probe.status;
+    if (!probe.found_key) co_return NotFound("key not present");
+    // CAS the slot to the tombstone marker iff the pointer is still ours.
+    Op cas = Op::CompareSwapCas(
+        server_->rkey(), server_->slot_addr(probe.bucket),
+        /*compare=*/BytesOfU64Pair(probe.old_ptr, 0),
+        /*swap=*/BytesOfU64Pair(server_->tombstone_addr(),
+                                PrismKvServer::kTombstoneBound),
+        /*cmp_mask=*/FieldMask(16, 0, 8),
+        /*swap_mask=*/FieldMask(16, 0, 16));
+    auto r = co_await prism_.ExecuteOne(&server_->prism(), std::move(cas));
+    round_trips_++;
+    if (!r.ok()) co_return r.status();
+    if (r->cas_swapped) {
+      const uint64_t old_bound = LoadU64(r->data.data() + 8);
+      auto old_queue = server_->QueueForRecord(old_bound);
+      if (old_queue.ok()) {
+        reclaim_.Free(*old_queue, probe.old_ptr);
+      }
+      co_return OkStatus();
+    }
+    cas_failures_++;  // concurrent update; re-probe
+  }
+  co_return Aborted("delete lost too many CAS races");
+}
+
+}  // namespace prism::kv

@@ -1,0 +1,172 @@
+// The simulated network fabric connecting hosts.
+//
+// The fabric models *timing only*: application payloads travel through C++
+// closures while the fabric charges serialization (with FIFO queueing at the
+// sender's egress and the receiver's ingress links), propagation, and
+// delivery order. Server saturation in Figures 3–10 emerges from the ingress/
+// egress byte accounting here.
+//
+// Link model (cut-through): a message of b bytes leaving src at time t
+//   departs egress at  d  = max(t, egress.free);        egress.free = d + ser(b)
+//   last bit arrives   a  = d + ser(b) + propagation
+//   delivery completes r  = max(a, ingress.free + ser(b)); ingress.free = r
+// so an uncontended message pays ser(b) exactly once end-to-end, while a
+// contended ingress (many clients hammering one server) or egress (one server
+// answering many clients) serializes at link bandwidth.
+#ifndef PRISM_SRC_NET_FABRIC_H_
+#define PRISM_SRC_NET_FABRIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/net/cost_model.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+
+namespace prism::net {
+
+using HostId = uint32_t;
+
+class Fabric {
+ public:
+  Fabric(sim::Simulator* sim, CostModel model, uint64_t loss_seed = 0x10552)
+      : sim_(sim), model_(model), loss_rng_(loss_seed) {}
+
+  sim::Simulator* simulator() const { return sim_; }
+  const CostModel& cost() const { return model_; }
+
+  HostId AddHost(std::string name) {
+    HostId id = static_cast<HostId>(hosts_.size());
+    hosts_.push_back(std::make_unique<Host>(Host{
+        .name = std::move(name),
+        .cores = std::make_unique<sim::ServiceQueue>(sim_, model_.server_cores),
+    }));
+    return id;
+  }
+
+  size_t host_count() const { return hosts_.size(); }
+  const std::string& HostName(HostId id) const { return At(id).name; }
+
+  // The host's dedicated CPU core pool (RPC handlers, software PRISM).
+  sim::ServiceQueue& Cores(HostId id) { return *At(id).cores; }
+
+  // Failure injection: messages to/from a down host are dropped.
+  void SetHostUp(HostId id, bool up) { At(id).up = up; }
+  bool IsHostUp(HostId id) const { return At(id).up; }
+
+  // Sends a `payload_bytes` message from src to dst. Exactly one of the two
+  // callbacks fires: on_delivery when the last byte is received (after any
+  // transport-level retransmissions of lost frames), or on_dropped (if
+  // provided) if either endpoint is down or retransmissions are exhausted.
+  // Loopback (src == dst) skips the wire but still pays a small local hop.
+  void Send(HostId src, HostId dst, size_t payload_bytes,
+            std::function<void()> on_delivery,
+            std::function<void()> on_dropped = nullptr) {
+    SendAttempt(src, dst, payload_bytes, std::move(on_delivery),
+                std::move(on_dropped), /*attempt=*/0);
+  }
+
+ private:
+  void SendAttempt(HostId src, HostId dst, size_t payload_bytes,
+                   std::function<void()> on_delivery,
+                   std::function<void()> on_dropped, int attempt) {
+    if (!At(src).up || !At(dst).up) {
+      if (on_dropped) sim_->Schedule(0, std::move(on_dropped));
+      dropped_messages_++;
+      return;
+    }
+    total_messages_++;
+    total_wire_bytes_ += model_.WireBytes(payload_bytes);
+    // Wire loss: the transport retransmits after a timeout (the §4.2
+    // NIC machinery). Ops above never observe duplicates — a frame either
+    // arrives once or the attempt is repeated.
+    if (model_.loss_probability > 0.0 &&
+        loss_rng_.NextDouble() < model_.loss_probability) {
+      lost_messages_++;
+      if (attempt >= model_.max_retransmits) {
+        if (on_dropped) sim_->Schedule(0, std::move(on_dropped));
+        dropped_messages_++;
+        return;
+      }
+      retransmissions_++;
+      sim_->Schedule(model_.retransmit_timeout,
+                     [this, src, dst, payload_bytes,
+                      cb = std::move(on_delivery),
+                      dr = std::move(on_dropped), attempt]() mutable {
+                       SendAttempt(src, dst, payload_bytes, std::move(cb),
+                                   std::move(dr), attempt + 1);
+                     });
+      return;
+    }
+    if (src == dst) {
+      sim_->Schedule(sim::Nanos(200), std::move(on_delivery));
+      return;
+    }
+    const sim::Duration ser = model_.SerializationDelay(payload_bytes);
+    Host& s = At(src);
+    Host& d = At(dst);
+    const sim::TimePoint now = sim_->Now();
+    const sim::TimePoint depart = std::max(now, s.egress_free);
+    s.egress_free = depart + ser;
+    const sim::TimePoint arrival = depart + ser + model_.propagation;
+    const sim::TimePoint ready =
+        std::max(arrival, d.ingress_free + ser);
+    d.ingress_free = ready;
+    sim_->ScheduleAt(ready, [this, dst, cb = std::move(on_delivery)]() {
+      // A host that died while the message was in flight still drops it.
+      if (At(dst).up) cb();
+    });
+  }
+
+ public:
+
+  // ---- instrumentation ----
+  uint64_t total_messages() const { return total_messages_; }
+  uint64_t dropped_messages() const { return dropped_messages_; }
+  uint64_t lost_messages() const { return lost_messages_; }
+  uint64_t retransmissions() const { return retransmissions_; }
+  uint64_t total_wire_bytes() const { return total_wire_bytes_; }
+  void ResetStats() {
+    total_messages_ = 0;
+    dropped_messages_ = 0;
+    lost_messages_ = 0;
+    retransmissions_ = 0;
+    total_wire_bytes_ = 0;
+  }
+
+ private:
+  struct Host {
+    std::string name;
+    std::unique_ptr<sim::ServiceQueue> cores;
+    sim::TimePoint egress_free = 0;
+    sim::TimePoint ingress_free = 0;
+    bool up = true;
+  };
+
+  Host& At(HostId id) {
+    PRISM_CHECK_LT(id, hosts_.size());
+    return *hosts_[id];
+  }
+  const Host& At(HostId id) const {
+    PRISM_CHECK_LT(id, hosts_.size());
+    return *hosts_[id];
+  }
+
+  sim::Simulator* sim_;
+  CostModel model_;
+  Rng loss_rng_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  uint64_t total_messages_ = 0;
+  uint64_t dropped_messages_ = 0;
+  uint64_t lost_messages_ = 0;
+  uint64_t retransmissions_ = 0;
+  uint64_t total_wire_bytes_ = 0;
+};
+
+}  // namespace prism::net
+
+#endif  // PRISM_SRC_NET_FABRIC_H_

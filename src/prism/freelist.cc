@@ -1,0 +1,62 @@
+#include "src/prism/freelist.h"
+
+#include <limits>
+
+namespace prism::core {
+
+uint32_t FreeListRegistry::CreateQueue(uint64_t buffer_size) {
+  PRISM_CHECK_GT(buffer_size, 0u);
+  queues_.push_back(Queue{.buffer_size = buffer_size, .buffers = {}});
+  return static_cast<uint32_t>(queues_.size() - 1);
+}
+
+Result<uint32_t> FreeListRegistry::QueueFor(uint64_t need) const {
+  uint64_t best_size = std::numeric_limits<uint64_t>::max();
+  uint32_t best = 0;
+  bool found = false;
+  for (uint32_t i = 0; i < queues_.size(); ++i) {
+    const uint64_t size = queues_[i].buffer_size;
+    if (size >= need && size < best_size) {
+      best_size = size;
+      best = i;
+      found = true;
+    }
+  }
+  if (!found) return InvalidArgument("no free-list queue fits request");
+  return best;
+}
+
+Status FreeListRegistry::Post(uint32_t queue, rdma::Addr buffer) {
+  if (!ValidQueue(queue)) return InvalidArgument("unknown free-list queue");
+  queues_[queue].buffers.push_back(buffer);
+  posts_++;
+  return OkStatus();
+}
+
+Result<rdma::Addr> FreeListRegistry::Pop(uint32_t queue, uint64_t need) {
+  if (!ValidQueue(queue)) return InvalidArgument("unknown free-list queue");
+  Queue& q = queues_[queue];
+  if (need > q.buffer_size) {
+    return InvalidArgument("payload exceeds queue buffer size");
+  }
+  if (q.buffers.empty()) {
+    empty_nacks_++;
+    return ResourceExhausted("free list empty (RNR)");
+  }
+  rdma::Addr buf = q.buffers.front();
+  q.buffers.pop_front();
+  pops_++;
+  return buf;
+}
+
+uint64_t FreeListRegistry::buffer_size(uint32_t queue) const {
+  PRISM_CHECK(ValidQueue(queue));
+  return queues_[queue].buffer_size;
+}
+
+size_t FreeListRegistry::available(uint32_t queue) const {
+  PRISM_CHECK(ValidQueue(queue));
+  return queues_[queue].buffers.size();
+}
+
+}  // namespace prism::core

@@ -1,0 +1,65 @@
+// Free-list queues backing PRISM's ALLOCATE primitive (§3.2).
+//
+// A free list is represented the way the paper proposes for hardware: as a
+// queue-pair-like structure of fixed-size buffers that the server CPU posts
+// and the NIC pops on ALLOCATE. Applications register multiple queues with
+// power-of-two buffer sizes to bound space overhead (§3.2 suggests ≤2×).
+//
+// The drain rule ("recycled buffers only be added back to the free list when
+// concurrent NIC operations are complete") is enforced by the PrismService
+// timing layer, which defers Post() calls while chains are in flight; this
+// registry is the pure data structure.
+#ifndef PRISM_SRC_PRISM_FREELIST_H_
+#define PRISM_SRC_PRISM_FREELIST_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/rdma/memory.h"
+
+namespace prism::core {
+
+class FreeListRegistry {
+ public:
+  // Creates a queue whose buffers are all `buffer_size` bytes.
+  uint32_t CreateQueue(uint64_t buffer_size);
+
+  // Returns the id of the registered queue with the smallest buffer size
+  // >= need, or kInvalidArgument if none fits.
+  Result<uint32_t> QueueFor(uint64_t need) const;
+
+  // Adds a buffer to the queue's free list (server-side post).
+  Status Post(uint32_t queue, rdma::Addr buffer);
+
+  // Pops the head buffer, checking the payload fits. An empty queue NACKs
+  // with kResourceExhausted (the RNR condition of §4.2).
+  Result<rdma::Addr> Pop(uint32_t queue, uint64_t need);
+
+  uint64_t buffer_size(uint32_t queue) const;
+  size_t available(uint32_t queue) const;
+  size_t queue_count() const { return queues_.size(); }
+
+  // ---- stats ----
+  uint64_t pops() const { return pops_; }
+  uint64_t posts() const { return posts_; }
+  uint64_t empty_nacks() const { return empty_nacks_; }
+
+ private:
+  struct Queue {
+    uint64_t buffer_size;
+    std::deque<rdma::Addr> buffers;
+  };
+
+  bool ValidQueue(uint32_t queue) const { return queue < queues_.size(); }
+
+  std::vector<Queue> queues_;
+  uint64_t pops_ = 0;
+  uint64_t posts_ = 0;
+  uint64_t empty_nacks_ = 0;
+};
+
+}  // namespace prism::core
+
+#endif  // PRISM_SRC_PRISM_FREELIST_H_

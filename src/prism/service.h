@@ -1,0 +1,318 @@
+// PRISM chains over the simulated fabric, under three deployment models.
+//
+//   kSoftware           — the paper's prototype (§4.1): chains are steered to
+//                         a dedicated server core which executes one primitive
+//                         per sw_primitive; ~2.5 µs over hardware RDMA.
+//   kHardwareProjected  — the §4.3 performance model of a PRISM NIC ASIC:
+//                         base NIC processing plus one PCIe round trip per
+//                         host-memory access (pointer chases, data DMA),
+//                         on-NIC SRAM accesses nearly free.
+//   kBlueField          — off-path SmartNIC: slow ARM cores and ~3 µs
+//                         internal-RDMA access to host memory per touch.
+//
+// Semantics are identical across deployments (the same core::Executor runs
+// each op); only timing differs. Ops of a chain execute in separate simulator
+// events, so concurrent chains interleave at op granularity — matching the
+// paper's contract that the enhanced CAS is atomic but chains and indirect
+// dereferences are not.
+//
+// The service also owns the ALLOCATE machinery: free-list queues, the §3.2
+// drain rule (buffers are re-posted only when no chain is in flight), and the
+// on-NIC scratch region clients use for redirect targets.
+#ifndef PRISM_SRC_PRISM_SERVICE_H_
+#define PRISM_SRC_PRISM_SERVICE_H_
+
+#include <deque>
+#include <set>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/net/fabric.h"
+#include "src/prism/executor.h"
+#include "src/prism/freelist.h"
+#include "src/prism/op.h"
+#include "src/prism/wire.h"
+#include "src/rdma/memory.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace prism::core {
+
+enum class Deployment {
+  kSoftware,
+  kHardwareProjected,
+  kBlueField,
+};
+
+inline std::string_view DeploymentName(Deployment d) {
+  switch (d) {
+    case Deployment::kSoftware: return "PRISM SW";
+    case Deployment::kHardwareProjected: return "PRISM HW (proj.)";
+    case Deployment::kBlueField: return "PRISM BlueField";
+  }
+  return "?";
+}
+
+class PrismServer {
+ public:
+  static constexpr uint64_t kOnNicBytes = 256 * 1024;  // ConnectX-5 (§4.2)
+
+  PrismServer(net::Fabric* fabric, net::HostId host, Deployment deployment,
+              rdma::AddressSpace* mem)
+      : fabric_(fabric),
+        host_(host),
+        deployment_(deployment),
+        mem_(mem),
+        executor_(mem, &freelists_),
+        nic_pipeline_(fabric->simulator(), fabric->cost().nic_pipeline_units),
+        bf_cores_(fabric->simulator(), fabric->cost().bf_cores) {
+    auto region = mem->CarveAndRegister(kOnNicBytes, rdma::kRemoteAll,
+                                        rdma::kOnNic);
+    PRISM_CHECK(region.ok()) << region.status();
+    on_nic_region_ = *region;
+    on_nic_next_ = on_nic_region_.base;
+  }
+
+  net::HostId host() const { return host_; }
+  Deployment deployment() const { return deployment_; }
+  rdma::AddressSpace& memory() { return *mem_; }
+  FreeListRegistry& freelists() { return freelists_; }
+  Executor& executor() { return executor_; }
+  const rdma::MemoryRegion& on_nic_region() const { return on_nic_region_; }
+
+  // Hands out per-connection scratch space from the 256 KB on-NIC region
+  // (32 B per connection suffices for all three applications, §4.2).
+  Result<rdma::Addr> AllocateScratch(uint64_t bytes) {
+    const uint64_t aligned = (bytes + 7) & ~uint64_t{7};
+    if (on_nic_next_ + aligned >
+        on_nic_region_.base + on_nic_region_.length) {
+      return ResourceExhausted("on-NIC scratch exhausted");
+    }
+    rdma::Addr addr = on_nic_next_;
+    on_nic_next_ += aligned;
+    return addr;
+  }
+
+  // ---- free-list posting with the §3.2 drain rule ----
+
+  // Posts buffers to a free list. The paper's rule: "recycled buffers only
+  // be added back to the free list when concurrent NIC operations are
+  // complete" — i.e. a post behaves like the write side of a reader-writer
+  // lock: it waits for the chains in flight *at post time* (which might
+  // still hold a stale pointer to the buffer) to finish, not for the NIC to
+  // go idle. Implemented as an epoch barrier: the post flushes once every
+  // chain with an id below the barrier has completed.
+  void PostBuffers(uint32_t queue, std::vector<rdma::Addr> buffers) {
+    if (active_chains_.empty()) {
+      for (rdma::Addr b : buffers) {
+        PRISM_CHECK(freelists_.Post(queue, b).ok());
+      }
+    } else {
+      pending_posts_.push_back(
+          PendingPost{next_chain_id_, queue, std::move(buffers)});
+    }
+  }
+
+  int in_flight() const { return in_flight_; }
+  uint64_t chains_executed() const { return chains_executed_; }
+  uint64_t ops_executed() const { return ops_executed_; }
+  size_t deferred_posts() const { return pending_posts_.size(); }
+
+ private:
+  friend class PrismClient;
+
+  // Per-op server-side processing cost under the current deployment.
+  sim::Duration OpCost(const Op& op) const {
+    const net::CostModel& c = fabric_->cost();
+    const AccessProfile p = executor_.Profile(op);
+    switch (deployment_) {
+      case Deployment::kSoftware:
+        if (op.code == OpCode::kSearch) {
+          // The dedicated core streams through the haystack.
+          return c.sw_primitive +
+                 c.sw_scan_per_kb * static_cast<int64_t>(op.len / 1024 + 1);
+        }
+        return c.sw_primitive;
+      case Deployment::kHardwareProjected: {
+        sim::Duration cost = c.hw_chain_step;
+        cost += p.host_reads * c.pcie_read_rtt;
+        cost += p.host_writes * c.pcie_write;
+        cost += p.on_nic * c.on_nic_mem_access;
+        if (p.atomic) cost += c.atomic_overhead;
+        if (op.code == OpCode::kAllocate) cost += c.hw_freelist_pop;
+        return cost;
+      }
+      case Deployment::kBlueField:
+        return c.bf_primitive +
+               (p.host_reads + p.host_writes) * c.bf_host_mem_rtt +
+               p.on_nic * c.on_nic_mem_access +
+               (op.code == OpCode::kSearch
+                    ? 4 * c.sw_scan_per_kb *
+                          static_cast<int64_t>(op.len / 1024 + 1)
+                    : 0);
+    }
+    return 0;
+  }
+
+  // Executes the chain with deployment-specific timing; fills *results.
+  sim::Task<void> RunChain(std::shared_ptr<const Chain> chain,
+                           std::shared_ptr<ChainResult> results) {
+    const net::CostModel& c = fabric_->cost();
+    ++in_flight_;
+    const uint64_t chain_id = next_chain_id_++;
+    active_chains_.insert(chain_id);
+    switch (deployment_) {
+      case Deployment::kSoftware: {
+        co_await sim::SleepFor(fabric_->simulator(),
+                               c.sw_ring_dma + c.sw_queue_delay);
+        co_await fabric_->Cores(host_).Acquire();
+        co_await sim::SleepFor(fabric_->simulator(), c.sw_dispatch);
+        co_await ExecuteOps(chain, results);
+        fabric_->Cores(host_).Release();
+        co_await sim::SleepFor(fabric_->simulator(), c.sw_tx);
+        break;
+      }
+      case Deployment::kHardwareProjected: {
+        co_await nic_pipeline_.Acquire();
+        co_await sim::SleepFor(fabric_->simulator(), c.nic_process);
+        co_await ExecuteOps(chain, results);
+        nic_pipeline_.Release();
+        break;
+      }
+      case Deployment::kBlueField: {
+        co_await sim::SleepFor(fabric_->simulator(), c.sw_ring_dma);
+        co_await bf_cores_.Acquire();
+        co_await sim::SleepFor(fabric_->simulator(), c.bf_dispatch);
+        co_await ExecuteOps(chain, results);
+        bf_cores_.Release();
+        co_await sim::SleepFor(fabric_->simulator(), c.sw_tx);
+        break;
+      }
+    }
+    chains_executed_++;
+    --in_flight_;
+    active_chains_.erase(chain_id);
+    FlushPendingPosts();
+  }
+
+  sim::Task<void> ExecuteOps(std::shared_ptr<const Chain> chain,
+                             std::shared_ptr<ChainResult> results) {
+    ChainContext ctx;
+    for (const Op& op : *chain) {
+      // Charge the op's cost first, then apply its effect in this event —
+      // concurrent chains interleave between ops, never inside one.
+      co_await sim::SleepFor(fabric_->simulator(), OpCost(op));
+      results->push_back(executor_.ExecuteOne(op, ctx));
+      ops_executed_++;
+    }
+  }
+
+  void FlushPendingPosts() {
+    const uint64_t min_active =
+        active_chains_.empty() ? next_chain_id_ : *active_chains_.begin();
+    while (!pending_posts_.empty() &&
+           pending_posts_.front().barrier <= min_active) {
+      for (rdma::Addr b : pending_posts_.front().buffers) {
+        PRISM_CHECK(freelists_.Post(pending_posts_.front().queue, b).ok());
+      }
+      pending_posts_.pop_front();
+    }
+  }
+
+  net::Fabric* fabric_;
+  net::HostId host_;
+  Deployment deployment_;
+  rdma::AddressSpace* mem_;
+  FreeListRegistry freelists_;
+  Executor executor_;
+  sim::ServiceQueue nic_pipeline_;
+  sim::ServiceQueue bf_cores_;
+  rdma::MemoryRegion on_nic_region_;
+  rdma::Addr on_nic_next_ = 0;
+
+  struct PendingPost {
+    uint64_t barrier;  // flush once all chain ids < barrier completed
+    uint32_t queue;
+    std::vector<rdma::Addr> buffers;
+  };
+
+  int in_flight_ = 0;
+  uint64_t next_chain_id_ = 0;
+  std::set<uint64_t> active_chains_;
+  uint64_t chains_executed_ = 0;
+  uint64_t ops_executed_ = 0;
+  std::deque<PendingPost> pending_posts_;
+};
+
+class PrismClient {
+ public:
+  PrismClient(net::Fabric* fabric, net::HostId self)
+      : fabric_(fabric), self_(self) {}
+
+  net::HostId host() const { return self_; }
+
+  static constexpr sim::Duration kOpTimeout = sim::Millis(5);
+
+  // Executes a chain in one round trip. The ChainResult has one entry per op
+  // (skipped conditional ops are marked executed=false).
+  sim::Task<Result<ChainResult>> Execute(PrismServer* server, Chain chain) {
+    auto state = std::make_shared<OpState>(fabric_->simulator(),
+                                           TimedOut("prism chain"));
+    auto chain_ptr = std::make_shared<const Chain>(std::move(chain));
+    co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().client_post);
+    const size_t req_payload = EncodedChainSize(*chain_ptr);
+    fabric_->Send(
+        self_, server->host(), req_payload,
+        [this, server, chain_ptr, state] {
+          sim::Spawn([this, server, chain_ptr, state]() -> sim::Task<void> {
+            auto results = std::make_shared<ChainResult>();
+            co_await server->RunChain(chain_ptr, results);
+            const size_t resp_bytes = ActualResponseSize(*chain_ptr,
+                                                         *results);
+            state->result = std::move(*results);
+            fabric_->Send(server->host(), self_, resp_bytes, [state] {
+              if (!state->done.is_set()) state->done.Set();
+            });
+          });
+        },
+        [state] { state->Finish(Unavailable("host down")); });
+    fabric_->simulator()->Schedule(kOpTimeout, [state] {
+      state->Finish(TimedOut("chain deadline"));
+    });
+    co_await state->done.Wait();
+    co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().completion);
+    co_return std::move(state->result);
+  }
+
+  // Single-op conveniences.
+  sim::Task<Result<OpResult>> ExecuteOne(PrismServer* server, Op op) {
+    Chain chain;
+    chain.push_back(std::move(op));
+    auto results = co_await Execute(server, std::move(chain));
+    if (!results.ok()) co_return results.status();
+    PRISM_CHECK_EQ(results->size(), 1u);
+    co_return std::move((*results)[0]);
+  }
+
+ private:
+  struct OpState {
+    OpState(sim::Simulator* sim, Status pending)
+        : done(sim), result(std::move(pending)) {}
+    sim::Event done;
+    Result<ChainResult> result;
+    void Finish(Status s) {
+      if (!done.is_set()) {
+        result = std::move(s);
+        done.Set();
+      }
+    }
+  };
+
+  net::Fabric* fabric_;
+  net::HostId self_;
+};
+
+}  // namespace prism::core
+
+#endif  // PRISM_SRC_PRISM_SERVICE_H_

@@ -1,0 +1,266 @@
+#include "src/rs/prism_rs.h"
+
+namespace prism::rs {
+
+using core::Chain;
+using core::Op;
+using core::OpCode;
+
+PrismRsReplica::PrismRsReplica(net::Fabric* fabric, net::HostId host,
+                               PrismRsOptions opts)
+    : opts_(opts) {
+  const uint64_t meta_bytes = opts.n_blocks * meta_stride();
+  const uint64_t buf_size = 8 + opts.block_size;  // [tag | value]
+  const uint64_t pool_bytes = opts.buffers_per_replica * buf_size;
+  mem_ = std::make_unique<rdma::AddressSpace>(
+      meta_bytes + pool_bytes + core::PrismServer::kOnNicBytes + (1 << 20));
+  prism_ = std::make_unique<core::PrismServer>(fabric, host, opts.deployment,
+                                               mem_.get());
+  auto region =
+      mem_->CarveAndRegister(meta_bytes + pool_bytes, rdma::kRemoteAll);
+  PRISM_CHECK(region.ok()) << region.status();
+  region_ = *region;
+  meta_base_ = region_.base;
+  freelist_ = prism_->freelists().CreateQueue(buf_size);
+  const rdma::Addr pool_base = region_.base + meta_bytes;
+  // Block 0-state: every metadata element starts as ⟨tag=0, addr=initial⟩
+  // with a zero-filled initial buffer, so reads of never-written blocks
+  // return zeroes rather than NACKing.
+  const rdma::Addr initial_buf = pool_base;  // shared by all blocks
+  for (uint64_t b = 0; b < opts.n_blocks; ++b) {
+    mem_->StoreWord(meta_addr(b), 0);                // tag
+    mem_->StoreWord(meta_addr(b) + 8, initial_buf);  // addr / ptr
+    if (opts.variable_block_size) {
+      mem_->StoreWord(meta_addr(b) + 16, 8 + opts.block_size);  // bound
+    }
+  }
+  for (uint64_t i = 1; i < opts.buffers_per_replica; ++i) {
+    prism_->PostBuffers(freelist_, {pool_base + i * buf_size});
+  }
+}
+
+PrismRsCluster::PrismRsCluster(net::Fabric* fabric, int n_replicas,
+                               PrismRsOptions opts)
+    : opts_(opts) {
+  PRISM_CHECK(n_replicas % 2 == 1) << "need n = 2f+1 replicas";
+  for (int i = 0; i < n_replicas; ++i) {
+    net::HostId host = fabric->AddHost("rs-replica-" + std::to_string(i));
+    replicas_.push_back(
+        std::make_unique<PrismRsReplica>(fabric, host, opts));
+  }
+}
+
+PrismRsClient::PrismRsClient(net::Fabric* fabric, net::HostId self,
+                             PrismRsCluster* cluster, uint16_t client_id)
+    : fabric_(fabric),
+      cluster_(cluster),
+      prism_(fabric, self),
+      client_id_(client_id) {
+  const uint64_t scratch_bytes =
+      cluster->options().variable_block_size ? 24 : 16;
+  for (int i = 0; i < cluster->n(); ++i) {
+    auto scratch =
+        cluster->replica(i).prism().AllocateScratch(scratch_bytes);
+    PRISM_CHECK(scratch.ok()) << scratch.status();
+    scratch_.push_back(*scratch);
+    reclaim_.push_back(std::make_unique<core::ReclaimClient>(
+        fabric, self, &cluster->replica(i).prism(),
+        cluster->options().reclaim_batch));
+  }
+}
+
+void PrismRsClient::FlushReclaim() {
+  for (auto& r : reclaim_) r->Flush();
+}
+
+sim::Task<PrismRsClient::ReadPhaseResult> PrismRsClient::ReadPhase(
+    uint64_t block) {
+  const bool variable = cluster_->options().variable_block_size;
+  const uint64_t read_len = 8 + cluster_->options().block_size;
+  auto quorum = std::make_shared<sim::Quorum>(fabric_->simulator(),
+                                              cluster_->quorum(),
+                                              cluster_->n());
+  struct Shared {
+    Tag max_tag;
+    Bytes max_value;
+    bool any = false;
+    int replies = 0;
+    int with_max_tag = 0;
+  };
+  auto shared = std::make_shared<Shared>();
+  for (int i = 0; i < cluster_->n(); ++i) {
+    PrismRsReplica* replica = &cluster_->replica(i);
+    // One indirect READ per replica: dereference the addr field of the
+    // metadata element and return the [tag|value] buffer atomically. In
+    // variable mode the pointer is a ⟨ptr,bound⟩ pair, so the READ is
+    // bounded and returns exactly the stored length (§7.3 extension).
+    sim::Spawn([this, replica, block, read_len, quorum, shared,
+                variable]() -> sim::Task<void> {
+      Op read = Op::IndirectRead(replica->rkey(),
+                                 replica->meta_addr(block) + 8, read_len,
+                                 /*bounded=*/variable);
+      auto r = co_await prism_.ExecuteOne(&replica->prism(), std::move(read));
+      round_trips_++;
+      if (!r.ok() || !r->status.ok() || r->data.size() < 8) {
+        quorum->Arrive(false);
+        co_return;
+      }
+      Tag tag = Tag::FromPacked(LoadU64(r->data.data()));
+      shared->replies++;
+      if (!shared->any || shared->max_tag < tag) {
+        shared->any = true;
+        shared->max_tag = tag;
+        shared->max_value.assign(r->data.begin() + 8, r->data.end());
+        shared->with_max_tag = 1;
+      } else if (tag == shared->max_tag) {
+        shared->with_max_tag++;
+      }
+      quorum->Arrive(true);
+    });
+  }
+  ReadPhaseResult out;
+  bool reached = co_await quorum->Wait();
+  if (!reached) {
+    out.status = Unavailable("read phase: no quorum");
+    co_return out;
+  }
+  out.status = OkStatus();
+  out.max_tag = shared->max_tag;
+  out.max_value = std::move(shared->max_value);
+  // Snapshot unanimity at the moment the quorum resolved: at least f+1
+  // replies all carrying the maximal tag.
+  out.unanimous = shared->with_max_tag >= cluster_->quorum() &&
+                  shared->with_max_tag == shared->replies;
+  co_return out;
+}
+
+sim::Task<Status> PrismRsClient::WritePhase(
+    uint64_t block, Tag tag, std::shared_ptr<const Bytes> value) {
+  const bool variable = cluster_->options().variable_block_size;
+  if (variable) {
+    PRISM_CHECK_LE(value->size(), cluster_->options().block_size);
+  } else {
+    PRISM_CHECK_EQ(value->size(), cluster_->options().block_size);
+  }
+  auto quorum = std::make_shared<sim::Quorum>(fabric_->simulator(),
+                                              cluster_->quorum(),
+                                              cluster_->n());
+  // Buffer payload: [tag | value].
+  auto payload = std::make_shared<Bytes>();
+  payload->reserve(8 + value->size());
+  Bytes tag_bytes = BytesOfU64(tag.Packed());
+  payload->insert(payload->end(), tag_bytes.begin(), tag_bytes.end());
+  payload->insert(payload->end(), value->begin(), value->end());
+
+  for (int i = 0; i < cluster_->n(); ++i) {
+    PrismRsReplica* replica = &cluster_->replica(i);
+    const rdma::Addr tmp = scratch_[i];
+    sim::Spawn([this, replica, block, tag, payload, tmp, quorum, i,
+                variable]() -> sim::Task<void> {
+      // The §7.3 write chain. In variable mode the scratch holds 24 bytes
+      // [tag' | addr' | bound'] — tag and bound written in one WRITE, the
+      // ALLOCATE redirecting its address into the gap — and the CAS swaps
+      // the whole 24-byte metadata element.
+      const uint64_t width = variable ? 24 : 16;
+      Chain chain;
+      if (variable) {
+        Bytes tag_and_bound(24, 0);
+        StoreU64(tag_and_bound.data(), tag.Packed());
+        StoreU64(tag_and_bound.data() + 16, payload->size());
+        chain.push_back(Op::Write(replica->rkey(), tmp,
+                                  std::move(tag_and_bound)));     // 1. tag'+bound'
+      } else {
+        chain.push_back(Op::Write(replica->rkey(), tmp,
+                                  BytesOfU64(tag.Packed())));     // 1. tag'
+      }
+      chain.push_back(Op::Allocate(replica->rkey(), replica->freelist(),
+                                   *payload)
+                          .RedirectTo(tmp + 8)
+                          .Conditional());                        // 2. addr'
+      Op install;                                                 // 3. CAS_GT
+      install.code = OpCode::kCas;
+      install.rkey = replica->rkey();
+      install.addr = replica->meta_addr(block);
+      install.data = BytesOfU64(tmp);
+      install.data_indirect = true;  // operand = *tmp
+      install.cmp_mask = FieldMask(width, 0, 8);     // compare tag field (GT)
+      install.swap_mask = FieldMask(width, 0, width);  // install all fields
+      install.cas_mode = rdma::CasCompare::kGreater;
+      install.conditional = true;
+      chain.push_back(std::move(install));
+
+      auto r = co_await prism_.Execute(&replica->prism(), std::move(chain));
+      round_trips_++;
+      if (!r.ok()) {
+        quorum->Arrive(false);
+        co_return;
+      }
+      const core::OpResult& alloc = (*r)[1];
+      const core::OpResult& cas = (*r)[2];
+      if (!alloc.executed || !alloc.status.ok() || !cas.executed ||
+          !cas.status.ok()) {
+        quorum->Arrive(false);
+        co_return;
+      }
+      if (cas.cas_swapped) {
+        // Old buffer displaced; recycle it (the initial shared buffer at
+        // tag 0 is never recycled — it is identified by old tag == 0).
+        const uint64_t old_tag = LoadU64(cas.data.data());
+        const rdma::Addr old_addr = LoadU64(cas.data.data() + 8);
+        if (old_tag != 0) {
+          reclaim_[static_cast<size_t>(i)]->Free(replica->freelist(),
+                                                 old_addr);
+        }
+      } else {
+        // Replica already has a newer tag: our buffer is orphaned. The ABD
+        // phase still counts as acknowledged.
+        reclaim_[static_cast<size_t>(i)]->Free(replica->freelist(),
+                                               alloc.resolved_addr);
+      }
+      quorum->Arrive(true);
+    });
+  }
+  bool reached = co_await quorum->Wait();
+  if (!reached) co_return Unavailable("write phase: no quorum");
+  co_return OkStatus();
+}
+
+sim::Task<Result<Bytes>> PrismRsClient::Get(uint64_t block, Tag* out_tag) {
+  ReadPhaseResult read = co_await ReadPhase(block);
+  if (!read.status.ok()) co_return read.status;
+  if (cluster_->options().skip_unanimous_writeback && read.unanimous) {
+    // The quorum itself witnessed the tag at f+1 replicas: the write-back
+    // would be a no-op, so the GET completes in one round.
+    writebacks_skipped_++;
+    if (out_tag != nullptr) *out_tag = read.max_tag;
+    co_return std::move(read.max_value);
+  }
+  // Write-back phase: ensure f+1 replicas are at least as new as what we
+  // are about to return (required for linearizability).
+  auto value = std::make_shared<const Bytes>(read.max_value);
+  Status wb = co_await WritePhase(block, read.max_tag, value);
+  if (!wb.ok()) co_return wb;
+  if (out_tag != nullptr) *out_tag = read.max_tag;
+  co_return std::move(read.max_value);
+}
+
+sim::Task<Status> PrismRsClient::Put(uint64_t block, Bytes value,
+                                     Tag* out_tag) {
+  if (cluster_->options().variable_block_size) {
+    if (value.size() > cluster_->options().block_size) {
+      co_return InvalidArgument("value exceeds maximum block size");
+    }
+  } else if (value.size() != cluster_->options().block_size) {
+    co_return InvalidArgument("value must be exactly block_size");
+  }
+  ReadPhaseResult read = co_await ReadPhase(block);
+  if (!read.status.ok()) co_return read.status;
+  Tag tag{read.max_tag.ts + 1, client_id_};
+  auto value_ptr = std::make_shared<const Bytes>(std::move(value));
+  Status st = co_await WritePhase(block, tag, value_ptr);
+  if (!st.ok()) co_return st;
+  if (out_tag != nullptr) *out_tag = tag;
+  co_return OkStatus();
+}
+
+}  // namespace prism::rs

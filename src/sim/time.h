@@ -1,0 +1,31 @@
+// Virtual time for the discrete-event simulator.
+//
+// All simulated time is int64 nanoseconds. Helpers accept doubles so
+// calibration constants can be written in the units the paper uses (µs).
+#ifndef PRISM_SRC_SIM_TIME_H_
+#define PRISM_SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace prism::sim {
+
+using TimePoint = int64_t;  // nanoseconds since simulation start
+using Duration = int64_t;   // nanoseconds
+
+constexpr Duration Nanos(int64_t n) { return n; }
+constexpr Duration Micros(double us) {
+  return static_cast<Duration>(us * 1e3);
+}
+constexpr Duration Millis(double ms) {
+  return static_cast<Duration>(ms * 1e6);
+}
+constexpr Duration Seconds(double s) {
+  return static_cast<Duration>(s * 1e9);
+}
+
+constexpr double ToMicros(Duration d) { return static_cast<double>(d) / 1e3; }
+constexpr double ToSeconds(Duration d) { return static_cast<double>(d) / 1e9; }
+
+}  // namespace prism::sim
+
+#endif  // PRISM_SRC_SIM_TIME_H_

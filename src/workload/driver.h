@@ -1,0 +1,107 @@
+// Closed-loop measurement harness shared by all benchmarks.
+//
+// Mirrors the paper's methodology: N closed-loop clients issue operations
+// back to back; sweeping N traces out the throughput–latency curve of
+// Figures 3, 4, 6 and 9. A Recorder discards a warmup window, then counts
+// completions and latencies over the measurement window.
+#ifndef PRISM_SRC_WORKLOAD_DRIVER_H_
+#define PRISM_SRC_WORKLOAD_DRIVER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace prism::workload {
+
+class Recorder {
+ public:
+  Recorder(sim::Simulator* sim, sim::TimePoint measure_start,
+           sim::TimePoint measure_end)
+      : sim_(sim), start_(measure_start), end_(measure_end) {}
+
+  // Records an operation that began at `op_start` and completed now.
+  void Record(sim::TimePoint op_start) {
+    const sim::TimePoint now = sim_->Now();
+    if (op_start < start_ || now > end_) return;
+    hist_.Record(now - op_start);
+  }
+
+  // Counts an abort/retry (measured window only), for OCC statistics.
+  void RecordAbort() {
+    const sim::TimePoint now = sim_->Now();
+    if (now < start_ || now > end_) return;
+    aborts_++;
+  }
+
+  bool InMeasureWindow() const {
+    return sim_->Now() >= start_ && sim_->Now() <= end_;
+  }
+  sim::TimePoint measure_end() const { return end_; }
+
+  double ThroughputMops() const {
+    const double seconds = sim::ToSeconds(end_ - start_);
+    if (seconds <= 0) return 0;
+    return static_cast<double>(hist_.count()) / seconds / 1e6;
+  }
+
+  const LatencyHistogram& hist() const { return hist_; }
+  int64_t completed() const { return hist_.count(); }
+  uint64_t aborts() const { return aborts_; }
+
+ private:
+  sim::Simulator* sim_;
+  sim::TimePoint start_;
+  sim::TimePoint end_;
+  LatencyHistogram hist_;
+  uint64_t aborts_ = 0;
+};
+
+// One row of a throughput–latency sweep.
+struct LoadPoint {
+  int clients = 0;
+  double tput_mops = 0;
+  double mean_us = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double abort_rate = 0;  // aborts / (completions + aborts); OCC benches
+};
+
+inline LoadPoint MakeLoadPoint(int clients, const Recorder& recorder) {
+  LoadPoint p;
+  p.clients = clients;
+  p.tput_mops = recorder.ThroughputMops();
+  auto s = recorder.hist().Summarize();
+  p.mean_us = s.mean_us;
+  p.p50_us = s.p50_us;
+  p.p99_us = s.p99_us;
+  const double denom =
+      static_cast<double>(recorder.completed() + recorder.aborts());
+  p.abort_rate = denom > 0 ? static_cast<double>(recorder.aborts()) / denom
+                           : 0;
+  return p;
+}
+
+// Table printing used by every bench binary (one figure per binary; the rows
+// are the series the paper plots).
+inline void PrintHeader(const std::string& title,
+                        const std::string& extra = "") {
+  std::printf("\n== %s ==\n", title.c_str());
+  std::printf("%-28s %8s %12s %10s %10s %10s%s\n", "system", "clients",
+              "tput(Mops)", "mean(us)", "p50(us)", "p99(us)",
+              extra.empty() ? "" : ("  " + extra).c_str());
+}
+
+inline void PrintRow(const std::string& system, const LoadPoint& p,
+                     const std::string& extra = "") {
+  std::printf("%-28s %8d %12.3f %10.2f %10.2f %10.2f%s\n", system.c_str(),
+              p.clients, p.tput_mops, p.mean_us, p.p50_us, p.p99_us,
+              extra.empty() ? "" : ("  " + extra).c_str());
+}
+
+}  // namespace prism::workload
+
+#endif  // PRISM_SRC_WORKLOAD_DRIVER_H_

@@ -1,0 +1,76 @@
+#include "src/workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+
+namespace prism::workload {
+namespace {
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  PRISM_CHECK_GT(n, 0u);
+  PRISM_CHECK_GE(theta, 0.0);
+  zetan_ = Zeta(n, theta);
+  zeta2_ = Zeta(2, theta);
+  if (theta > 0.0 && theta < kCdfThreshold) {
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+           (1.0 - zeta2_ / zetan_);
+  } else if (theta >= kCdfThreshold) {
+    alpha_ = 0.0;
+    eta_ = 0.0;
+    cdf_.resize(n);
+    double acc = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cdf_[i] = acc / zetan_;
+    }
+  } else {
+    alpha_ = 0.0;
+    eta_ = 0.0;
+  }
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) const {
+  if (theta_ == 0.0) return rng.NextBelow(n_);
+  const double u = rng.NextDouble();
+  if (!cdf_.empty()) {
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end()) return n_ - 1;
+    return static_cast<uint64_t>(it - cdf_.begin());
+  }
+  // Gray et al. "Quickly generating billion-record synthetic databases".
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  double rank_f = static_cast<double>(n_) *
+                  std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  if (!(rank_f >= 0.0)) rank_f = 0.0;
+  uint64_t rank = static_cast<uint64_t>(rank_f);
+  if (rank >= n_) rank = n_ - 1;
+  return rank;
+}
+
+KeyChooser::KeyChooser(uint64_t n_keys, double theta)
+    : n_keys_(n_keys), theta_(theta), zipf_(n_keys, theta) {}
+
+uint64_t KeyChooser::Next(Rng& rng) const {
+  const uint64_t rank = zipf_.Next(rng);
+  if (theta_ == 0.0) return rank;  // already uniform; no need to scatter
+  return MixU64(rank) % n_keys_;
+}
+
+}  // namespace prism::workload

@@ -1,0 +1,163 @@
+// Calibration tests: pin every constant-derived prediction from DESIGN.md §4
+// so cost-model drift is caught immediately. These are deliberately tight —
+// if one fails after a cost-model change, EXPERIMENTS.md needs re-running.
+#include <gtest/gtest.h>
+
+#include "src/net/cost_model.h"
+#include "src/net/fabric.h"
+#include "src/sim/task.h"
+
+namespace prism::net {
+namespace {
+
+TEST(CostModelTest, SerializationMath) {
+  CostModel m = CostModel::EvalCluster40G();
+  // (512 payload + 60 header) bytes at 40 Gb/s = 114.4 ns.
+  EXPECT_NEAR(static_cast<double>(m.SerializationDelay(512)), 114.4, 1.0);
+  EXPECT_EQ(m.WireBytes(512), 572u);
+  CostModel d = CostModel::Fig1DirectTestbed();
+  // Same message at 25 Gb/s = 183 ns.
+  EXPECT_NEAR(static_cast<double>(d.SerializationDelay(512)), 183.0, 1.0);
+}
+
+TEST(CostModelTest, PresetsDifferOnlyWhereDocumented) {
+  CostModel direct = CostModel::Fig1DirectTestbed();
+  CostModel cluster = CostModel::EvalCluster40G();
+  EXPECT_EQ(direct.link_gbps, 25.0);
+  EXPECT_EQ(cluster.link_gbps, 40.0);
+  EXPECT_LT(direct.propagation, cluster.propagation);
+  // All processing constants identical across presets.
+  EXPECT_EQ(direct.client_post, cluster.client_post);
+  EXPECT_EQ(direct.sw_dispatch, cluster.sw_dispatch);
+  EXPECT_EQ(direct.pcie_read_rtt, cluster.pcie_read_rtt);
+}
+
+TEST(CostModelTest, TopologyTiersMatchFigure2) {
+  // §4.3 / Fig. 2: +0.6 µs (ToR), +3 µs (3-tier), +24 µs (datacenter).
+  CostModel base = CostModel::Fig1DirectTestbed();
+  EXPECT_EQ(CostModel::RackScale().propagation - base.propagation,
+            sim::Nanos(600));
+  EXPECT_EQ(CostModel::ClusterScale().propagation - base.propagation,
+            sim::Micros(3));
+  EXPECT_EQ(CostModel::DataCenterScale().propagation - base.propagation,
+            sim::Micros(24));
+}
+
+TEST(CostModelTest, SoftwarePremiumWithinPaperRange) {
+  // §4.3: the software prototype adds 2.5–2.8 µs per op over hardware RDMA.
+  CostModel m = CostModel::Fig1DirectTestbed();
+  const double hw_server = static_cast<double>(m.nic_process +
+                                               m.pcie_read_rtt);
+  const double sw_server =
+      static_cast<double>(m.sw_ring_dma + m.sw_queue_delay + m.sw_dispatch +
+                          m.sw_primitive + m.sw_tx);
+  const double premium_us = (sw_server - hw_server) / 1e3;
+  EXPECT_GE(premium_us, 2.2);
+  EXPECT_LE(premium_us, 2.9);
+}
+
+TEST(CostModelTest, ServerCoreCapacityReachesLineRate) {
+  // §6.2: "16 dedicated cores ... is sufficient to achieve line rate".
+  // Line rate for 512 B GET responses ≈ 8.5 Mops; core capacity for 1-op
+  // chains must exceed it.
+  CostModel m = CostModel::EvalCluster40G();
+  const double per_chain_ns =
+      static_cast<double>(m.sw_dispatch + m.sw_primitive);
+  const double chains_per_sec = m.server_cores * 1e9 / per_chain_ns;
+  EXPECT_GT(chains_per_sec, 10e6);
+}
+
+TEST(FabricTest, UncontendedLatencyIsSerializationPlusPropagation) {
+  sim::Simulator sim;
+  Fabric fabric(&sim, CostModel::EvalCluster40G());
+  HostId a = fabric.AddHost("a");
+  HostId b = fabric.AddHost("b");
+  sim::TimePoint delivered = -1;
+  fabric.Send(a, b, 512, [&] { delivered = sim.Now(); });
+  sim.Run();
+  // ser(512+60 B @40G) = 114 ns + 600 ns propagation.
+  EXPECT_NEAR(static_cast<double>(delivered), 714.0, 2.0);
+}
+
+TEST(FabricTest, EgressContentionSerializesSenders) {
+  sim::Simulator sim;
+  Fabric fabric(&sim, CostModel::EvalCluster40G());
+  HostId src = fabric.AddHost("src");
+  std::vector<HostId> dsts;
+  for (int i = 0; i < 4; ++i) {
+    dsts.push_back(fabric.AddHost("d" + std::to_string(i)));
+  }
+  std::vector<sim::TimePoint> deliveries;
+  for (int i = 0; i < 4; ++i) {
+    fabric.Send(src, dsts[static_cast<size_t>(i)], 512,
+                [&] { deliveries.push_back(sim.Now()); });
+  }
+  sim.Run();
+  ASSERT_EQ(deliveries.size(), 4u);
+  // Back-to-back sends from one host space out by one serialization time.
+  for (size_t i = 1; i < deliveries.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(deliveries[i] - deliveries[i - 1]),
+                114.4, 2.0);
+  }
+}
+
+TEST(FabricTest, IngressContentionQueuesReceivers) {
+  sim::Simulator sim;
+  Fabric fabric(&sim, CostModel::EvalCluster40G());
+  std::vector<HostId> srcs;
+  for (int i = 0; i < 4; ++i) {
+    srcs.push_back(fabric.AddHost("s" + std::to_string(i)));
+  }
+  HostId dst = fabric.AddHost("dst");
+  std::vector<sim::TimePoint> deliveries;
+  for (int i = 0; i < 4; ++i) {
+    fabric.Send(srcs[static_cast<size_t>(i)], dst, 512,
+                [&] { deliveries.push_back(sim.Now()); });
+  }
+  sim.Run();
+  ASSERT_EQ(deliveries.size(), 4u);
+  for (size_t i = 1; i < deliveries.size(); ++i) {
+    EXPECT_GE(deliveries[i] - deliveries[i - 1], sim::Nanos(110));
+  }
+}
+
+TEST(FabricTest, StatsAccounting) {
+  sim::Simulator sim;
+  Fabric fabric(&sim, CostModel::EvalCluster40G());
+  HostId a = fabric.AddHost("a");
+  HostId b = fabric.AddHost("b");
+  fabric.Send(a, b, 100, [] {});
+  fabric.SetHostUp(b, false);
+  int dropped = 0;
+  fabric.Send(a, b, 100, [] {}, [&] { dropped++; });
+  sim.Run();
+  EXPECT_EQ(fabric.total_messages(), 1u);
+  EXPECT_EQ(fabric.dropped_messages(), 1u);
+  EXPECT_EQ(fabric.total_wire_bytes(), 160u);
+  EXPECT_EQ(dropped, 1);
+}
+
+TEST(FabricTest, MidFlightCrashDropsDelivery) {
+  sim::Simulator sim;
+  Fabric fabric(&sim, CostModel::EvalCluster40G());
+  HostId a = fabric.AddHost("a");
+  HostId b = fabric.AddHost("b");
+  bool delivered = false;
+  fabric.Send(a, b, 100, [&] { delivered = true; });
+  fabric.SetHostUp(b, false);  // crashes while the message is in flight
+  sim.Run();
+  EXPECT_FALSE(delivered);
+}
+
+TEST(FabricTest, LoopbackSkipsTheWire) {
+  sim::Simulator sim;
+  Fabric fabric(&sim, CostModel::EvalCluster40G());
+  HostId a = fabric.AddHost("a");
+  sim::TimePoint delivered = -1;
+  fabric.Send(a, a, 1 << 20, [&] { delivered = sim.Now(); });
+  sim.Run();
+  EXPECT_LT(delivered, sim::Micros(1));  // no serialization for 1 MiB
+}
+
+}  // namespace
+}  // namespace prism::net

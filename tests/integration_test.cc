@@ -1,0 +1,238 @@
+// Cross-system integration tests: multiple applications sharing one fabric,
+// failure injection mid-workload, reclamation under churn across systems,
+// and end-to-end sanity of the closed-loop measurement harness.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/kv/pilaf.h"
+#include "src/kv/prism_kv.h"
+#include "src/rs/prism_rs.h"
+#include "src/sim/task.h"
+#include "src/tx/prism_tx.h"
+#include "src/workload/driver.h"
+
+namespace prism {
+namespace {
+
+using sim::Task;
+
+// All three PRISM applications coexisting on one fabric, driven
+// concurrently — exercises cross-service interleaving on shared hosts.
+TEST(IntegrationTest, ThreeSystemsShareOneFabric) {
+  sim::Simulator sim;
+  net::Fabric fabric(&sim, net::CostModel::EvalCluster40G());
+
+  // PRISM-KV on host 0.
+  net::HostId kv_host = fabric.AddHost("kv");
+  kv::PrismKvOptions kv_opts;
+  kv_opts.n_buckets = 128;
+  kv_opts.n_buffers = 512;
+  kv::PrismKvServer kv_server(&fabric, kv_host, kv_opts);
+
+  // PRISM-RS on hosts 1..3.
+  rs::PrismRsOptions rs_opts;
+  rs_opts.n_blocks = 32;
+  rs_opts.block_size = 64;
+  rs_opts.buffers_per_replica = 256;
+  rs::PrismRsCluster rs_cluster(&fabric, 3, rs_opts);
+
+  // PRISM-TX on host 4.
+  tx::PrismTxOptions tx_opts;
+  tx_opts.keys_per_shard = 64;
+  tx_opts.value_size = 64;
+  tx_opts.buffers_per_shard = 256;
+  tx::PrismTxCluster tx_cluster(&fabric, 1, tx_opts);
+  for (uint64_t k = 0; k < 16; ++k) {
+    ASSERT_TRUE(tx_cluster.LoadKey(k, Bytes(64, 1)).ok());
+  }
+
+  net::HostId client_host = fabric.AddHost("client");
+  kv::PrismKvClient kv_client(&fabric, client_host, &kv_server);
+  rs::PrismRsClient rs_client(&fabric, client_host, &rs_cluster, 1);
+  tx::PrismTxClient tx_client(&fabric, client_host, &tx_cluster, 1);
+
+  int kv_ops = 0, rs_ops = 0, tx_ops = 0;
+  sim::Spawn([&]() -> Task<void> {
+    for (int i = 0; i < 20; ++i) {
+      std::string key = "k" + std::to_string(i % 5);
+      EXPECT_TRUE(
+          (co_await kv_client.Put(key, BytesOfString("v" +
+                                                     std::to_string(i))))
+              .ok());
+      auto v = co_await kv_client.Get(key);
+      EXPECT_TRUE(v.ok());
+      kv_ops += 2;
+    }
+  });
+  sim::Spawn([&]() -> Task<void> {
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_TRUE((co_await rs_client.Put(i % 4,
+                                          Bytes(64, static_cast<uint8_t>(i))))
+                      .ok());
+      auto v = co_await rs_client.Get(i % 4);
+      EXPECT_TRUE(v.ok());
+      rs_ops += 2;
+    }
+  });
+  sim::Spawn([&]() -> Task<void> {
+    for (int i = 0; i < 20; ++i) {
+      tx::Transaction txn = tx_client.Begin();
+      auto v = co_await tx_client.Read(txn, i % 16);
+      EXPECT_TRUE(v.ok());
+      Bytes updated = std::move(*v);
+      updated[0] = static_cast<uint8_t>(i);
+      tx_client.Write(txn, i % 16, std::move(updated));
+      Status s = co_await tx_client.Commit(txn);
+      EXPECT_TRUE(s.ok());
+      tx_ops++;
+    }
+  });
+  sim.Run();
+  EXPECT_EQ(kv_ops, 40);
+  EXPECT_EQ(rs_ops, 40);
+  EXPECT_EQ(tx_ops, 20);
+}
+
+// Replica crashes in the middle of a PRISM-RS write storm; every op that
+// completes after the crash remains correct, and the history stays
+// linearizable-by-tag (monotone tags per completed op).
+TEST(IntegrationTest, RsReplicaCrashMidWorkload) {
+  sim::Simulator sim;
+  net::Fabric fabric(&sim, net::CostModel::EvalCluster40G());
+  rs::PrismRsOptions opts;
+  opts.n_blocks = 8;
+  opts.block_size = 64;
+  opts.buffers_per_replica = 1024;
+  rs::PrismRsCluster cluster(&fabric, 3, opts);
+  net::HostId host = fabric.AddHost("client");
+  rs::PrismRsClient client(&fabric, host, &cluster, 1);
+
+  int completed = 0;
+  uint64_t last_tag = 0;
+  bool monotone = true;
+  sim::Spawn([&]() -> Task<void> {
+    for (int i = 0; i < 40; ++i) {
+      rs::Tag tag;
+      Status s = co_await client.Put(0, Bytes(64, static_cast<uint8_t>(i)),
+                                     &tag);
+      EXPECT_TRUE(s.ok()) << i;
+      if (tag.Packed() <= last_tag) monotone = false;
+      last_tag = tag.Packed();
+      completed++;
+    }
+  });
+  // Crash replica 2 while the writes stream.
+  sim.Schedule(sim::Micros(200), [&] { fabric.SetHostUp(2, false); });
+  sim.Run();
+  EXPECT_EQ(completed, 40);
+  EXPECT_TRUE(monotone);
+  // The value survived on a quorum of the remaining replicas.
+  bool checked = false;
+  sim::Spawn([&]() -> Task<void> {
+    auto v = co_await client.Get(0);
+    EXPECT_TRUE(v.ok());
+    EXPECT_EQ((*v)[0], 39);
+    checked = true;
+  });
+  sim.Run();
+  EXPECT_TRUE(checked);
+}
+
+// Sustained overwrite churn across PRISM-KV with a small pool: reclamation
+// (with the epoch-barrier drain rule) must keep ALLOCATE fed indefinitely.
+TEST(IntegrationTest, KvChurnNeverStarvesAllocator) {
+  sim::Simulator sim;
+  net::Fabric fabric(&sim, net::CostModel::EvalCluster40G());
+  net::HostId server_host = fabric.AddHost("server");
+  kv::PrismKvOptions opts;
+  opts.n_buckets = 16;
+  opts.n_buffers = 64;  // deliberately tight
+  opts.reclaim_batch = 4;
+  kv::PrismKvServer server(&fabric, server_host, opts);
+  net::HostId client_host = fabric.AddHost("client");
+  constexpr int kClients = 4;
+  std::vector<std::unique_ptr<kv::PrismKvClient>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.push_back(std::make_unique<kv::PrismKvClient>(
+        &fabric, client_host, &server));
+  }
+  int puts = 0;
+  for (int c = 0; c < kClients; ++c) {
+    sim::Spawn([&, c]() -> Task<void> {
+      for (int i = 0; i < 250; ++i) {
+        Status s = co_await clients[static_cast<size_t>(c)]->Put(
+            "key" + std::to_string(i % 8),
+            BytesOfString("value-" + std::to_string(i)));
+        EXPECT_TRUE(s.ok()) << "client " << c << " put " << i << ": " << s;
+        puts++;
+      }
+      clients[static_cast<size_t>(c)]->FlushReclaim();
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(puts, kClients * 250);
+  // Pool must be essentially full again after the dust settles: 8 live keys.
+  EXPECT_GE(server.free_buffers(), opts.n_buffers - 1 - 8 - 4);
+}
+
+// The PRISM-KV and Pilaf stores agree with a model map under an identical
+// random operation sequence (differential test between two implementations).
+TEST(IntegrationTest, KvDifferentialAgainstModelAndPilaf) {
+  sim::Simulator sim;
+  net::Fabric fabric(&sim, net::CostModel::EvalCluster40G());
+  net::HostId h1 = fabric.AddHost("prism-server");
+  net::HostId h2 = fabric.AddHost("pilaf-server");
+  kv::PrismKvOptions kv_opts;
+  kv_opts.n_buckets = 64;
+  kv_opts.n_buffers = 256;
+  kv::PrismKvServer prism_server(&fabric, h1, kv_opts);
+  kv::PilafOptions pilaf_opts;
+  pilaf_opts.n_buckets = 64;
+  pilaf_opts.n_extents = 256;
+  kv::PilafServer pilaf_server(&fabric, h2, pilaf_opts);
+  net::HostId ch = fabric.AddHost("client");
+  kv::PrismKvClient prism_client(&fabric, ch, &prism_server);
+  kv::PilafClient pilaf_client(&fabric, ch, &pilaf_server);
+
+  std::map<std::string, std::string> model;
+  Rng rng(424242);
+  sim::Spawn([&]() -> Task<void> {
+    for (int i = 0; i < 300; ++i) {
+      std::string key = "k" + std::to_string(rng.NextBelow(20));
+      const double dice = rng.NextDouble();
+      if (dice < 0.5) {
+        std::string value = "v" + std::to_string(rng.NextU64() % 1000);
+        EXPECT_TRUE((co_await prism_client.Put(key,
+                                               BytesOfString(value))).ok());
+        EXPECT_TRUE((co_await pilaf_client.Put(key,
+                                               BytesOfString(value))).ok());
+        model[key] = value;
+      } else if (dice < 0.7) {
+        Status s1 = co_await prism_client.Delete(key);
+        Status s2 = co_await pilaf_client.Delete(key);
+        EXPECT_EQ(s1.ok(), model.count(key) > 0) << key;
+        EXPECT_EQ(s1.ok(), s2.ok()) << key;
+        model.erase(key);
+      } else {
+        auto v1 = co_await prism_client.Get(key);
+        auto v2 = co_await pilaf_client.Get(key);
+        if (model.count(key)) {
+          EXPECT_TRUE(v1.ok()) << key;
+          EXPECT_TRUE(v2.ok()) << key;
+          EXPECT_EQ(StringOfBytes(*v1), model[key]);
+          EXPECT_EQ(StringOfBytes(*v2), model[key]);
+        } else {
+          EXPECT_EQ(v1.code(), Code::kNotFound) << key;
+          EXPECT_EQ(v2.code(), Code::kNotFound) << key;
+        }
+      }
+    }
+  });
+  sim.Run();
+}
+
+}  // namespace
+}  // namespace prism

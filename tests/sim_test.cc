@@ -1,0 +1,319 @@
+// Tests for the discrete-event simulator and coroutine framework.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace prism::sim {
+namespace {
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Micros(3), [&] { order.push_back(3); });
+  sim.Schedule(Micros(1), [&] { order.push_back(1); });
+  sim.Schedule(Micros(2), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Micros(3));
+}
+
+TEST(SimulatorTest, EqualTimestampsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(Micros(5), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  TimePoint inner_time = -1;
+  sim.Schedule(Micros(1), [&] {
+    sim.Schedule(Micros(2), [&] { inner_time = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(inner_time, Micros(3));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(Micros(1), [&] { fired++; });
+  sim.Schedule(Micros(10), [&] { fired++; });
+  sim.RunUntil(Micros(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), Micros(5));
+  EXPECT_FALSE(sim.idle());
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(TaskTest, SpawnRunsToCompletion) {
+  Simulator sim;
+  bool done = false;
+  auto coro = [&]() -> Task<void> {
+    co_await SleepFor(&sim, Micros(7));
+    done = true;
+  };
+  Spawn(coro());
+  EXPECT_FALSE(done);  // lazy until first event
+  sim.Run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.Now(), Micros(7));
+}
+
+TEST(TaskTest, SpawnStartsSynchronouslyUntilFirstSuspend) {
+  Simulator sim;
+  bool started = false;
+  auto coro = [&]() -> Task<void> {
+    started = true;
+    co_await SleepFor(&sim, Micros(1));
+  };
+  Spawn(coro());
+  EXPECT_TRUE(started);
+  sim.Run();
+}
+
+TEST(TaskTest, NestedAwaitPropagatesValue) {
+  Simulator sim;
+  auto inner = [&](int x) -> Task<int> {
+    co_await SleepFor(&sim, Micros(2));
+    co_return x * 2;
+  };
+  int result = 0;
+  auto outer = [&]() -> Task<void> {
+    int a = co_await inner(10);
+    int b = co_await inner(a);
+    result = b;
+  };
+  Spawn(outer());
+  sim.Run();
+  EXPECT_EQ(result, 40);
+  EXPECT_EQ(sim.Now(), Micros(4));
+}
+
+TEST(TaskTest, DeeplyNestedTasks) {
+  Simulator sim;
+  // Recursion depth 200: verifies symmetric transfer does not blow the stack
+  // and values propagate through every level.
+  std::function<Task<int>(int)> chain = [&](int n) -> Task<int> {
+    if (n == 0) {
+      co_await SleepFor(&sim, Micros(1));
+      co_return 1;
+    }
+    int v = co_await chain(n - 1);
+    co_return v + 1;
+  };
+  int result = 0;
+  Spawn([&]() -> Task<void> { result = co_await chain(200); });
+  sim.Run();
+  EXPECT_EQ(result, 201);
+}
+
+TEST(TaskTest, TrackerCountsLiveTasks) {
+  Simulator sim;
+  TaskTracker tracker;
+  auto coro = [&](Duration d) -> Task<void> { co_await SleepFor(&sim, d); };
+  Spawn(coro(Micros(1)), &tracker);
+  Spawn(coro(Micros(5)), &tracker);
+  EXPECT_EQ(tracker.live(), 2);
+  sim.RunUntil(Micros(2));
+  EXPECT_EQ(tracker.live(), 1);
+  sim.Run();
+  EXPECT_EQ(tracker.live(), 0);
+}
+
+TEST(TaskTest, ManyConcurrentTasksInterleave) {
+  Simulator sim;
+  int done = 0;
+  for (int i = 0; i < 1000; ++i) {
+    Spawn([&sim, &done, i]() -> Task<void> {
+      co_await SleepFor(&sim, Micros(i % 17));
+      co_await SleepFor(&sim, Micros(i % 5));
+      done++;
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(done, 1000);
+}
+
+TEST(EventTest, WaitersWakeOnSet) {
+  Simulator sim;
+  Event event(&sim);
+  int woke = 0;
+  for (int i = 0; i < 3; ++i) {
+    Spawn([&]() -> Task<void> {
+      co_await event.Wait();
+      woke++;
+    });
+  }
+  sim.Schedule(Micros(10), [&] { event.Set(); });
+  sim.RunUntil(Micros(9));
+  EXPECT_EQ(woke, 0);
+  sim.Run();
+  EXPECT_EQ(woke, 3);
+}
+
+TEST(EventTest, WaitOnSetEventIsImmediate) {
+  Simulator sim;
+  Event event(&sim);
+  event.Set();
+  bool done = false;
+  Spawn([&]() -> Task<void> {
+    co_await event.Wait();
+    done = true;
+  });
+  EXPECT_TRUE(done);  // never suspended
+}
+
+TEST(QuorumTest, ReachesOnKSuccesses) {
+  Simulator sim;
+  Quorum quorum(&sim, 2, 3);
+  bool result = false;
+  bool finished = false;
+  Spawn([&]() -> Task<void> {
+    result = co_await quorum.Wait();
+    finished = true;
+  });
+  sim.Schedule(Micros(1), [&] { quorum.Arrive(true); });
+  sim.Schedule(Micros(2), [&] { quorum.Arrive(true); });
+  sim.Run();
+  EXPECT_TRUE(finished);
+  EXPECT_TRUE(result);
+  EXPECT_EQ(sim.Now(), Micros(2));  // woke without waiting for the third
+}
+
+TEST(QuorumTest, FailsFastWhenUnreachable) {
+  Simulator sim;
+  Quorum quorum(&sim, 3, 3);
+  bool result = true;
+  Spawn([&]() -> Task<void> { result = co_await quorum.Wait(); });
+  sim.Schedule(Micros(1), [&] { quorum.Arrive(false); });
+  sim.Run();
+  EXPECT_FALSE(result);  // 3-of-3 impossible after one failure
+}
+
+TEST(ChannelTest, PushPopOrdering) {
+  Simulator sim;
+  Channel<int> channel(&sim);
+  std::vector<int> received;
+  Spawn([&]() -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      received.push_back(co_await channel.Pop());
+    }
+  });
+  sim.Schedule(Micros(1), [&] { channel.Push(10); });
+  sim.Schedule(Micros(2), [&] {
+    channel.Push(20);
+    channel.Push(30);
+  });
+  sim.Run();
+  EXPECT_EQ(received, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(ChannelTest, MultipleConsumersFifo) {
+  Simulator sim;
+  Channel<int> channel(&sim);
+  std::vector<std::pair<int, int>> got;  // (consumer, item)
+  for (int c = 0; c < 2; ++c) {
+    Spawn([&, c]() -> Task<void> {
+      int item = co_await channel.Pop();
+      got.emplace_back(c, item);
+    });
+  }
+  channel.Push(1);
+  channel.Push(2);
+  sim.Run();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], (std::pair<int, int>{0, 1}));
+  EXPECT_EQ(got[1], (std::pair<int, int>{1, 2}));
+}
+
+TEST(MutexTest, MutualExclusionFifo) {
+  Simulator sim;
+  Mutex mutex(&sim);
+  std::vector<int> order;
+  int in_critical = 0;
+  for (int i = 0; i < 5; ++i) {
+    Spawn([&, i]() -> Task<void> {
+      co_await mutex.Lock();
+      EXPECT_EQ(in_critical, 0);
+      in_critical++;
+      co_await SleepFor(&sim, Micros(3));
+      order.push_back(i);
+      in_critical--;
+      mutex.Unlock();
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_FALSE(mutex.locked());
+}
+
+TEST(ServiceQueueTest, SingleServerSerializes) {
+  Simulator sim;
+  ServiceQueue q(&sim, 1);
+  std::vector<TimePoint> completions;
+  for (int i = 0; i < 3; ++i) {
+    Spawn([&]() -> Task<void> {
+      co_await q.Use(Micros(10));
+      completions.push_back(sim.Now());
+    });
+  }
+  sim.Run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0], Micros(10));
+  EXPECT_EQ(completions[1], Micros(20));
+  EXPECT_EQ(completions[2], Micros(30));
+}
+
+TEST(ServiceQueueTest, ParallelServers) {
+  Simulator sim;
+  ServiceQueue q(&sim, 4);
+  std::vector<TimePoint> completions;
+  for (int i = 0; i < 8; ++i) {
+    Spawn([&]() -> Task<void> {
+      co_await q.Use(Micros(10));
+      completions.push_back(sim.Now());
+    });
+  }
+  sim.Run();
+  ASSERT_EQ(completions.size(), 8u);
+  // Two waves of four.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(completions[i], Micros(10));
+  for (int i = 4; i < 8; ++i) EXPECT_EQ(completions[i], Micros(20));
+}
+
+TEST(ServiceQueueTest, UtilizationAccounting) {
+  Simulator sim;
+  ServiceQueue q(&sim, 2);
+  for (int i = 0; i < 6; ++i) {
+    Spawn([&]() -> Task<void> { co_await q.Use(Micros(5)); });
+  }
+  sim.Run();
+  EXPECT_EQ(q.total_busy(), Micros(30));
+  EXPECT_EQ(sim.Now(), Micros(15));  // 6 jobs / 2 servers * 5us
+}
+
+TEST(SleepTest, ZeroSleepYields) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(0, [&] { order.push_back(2); });
+  Spawn([&]() -> Task<void> {
+    order.push_back(1);  // spawn runs synchronously to the first suspension,
+    co_await Yield(&sim);  // then requeues behind the already-queued event
+    order.push_back(3);
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace prism::sim

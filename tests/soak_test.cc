@@ -1,0 +1,184 @@
+// Soak test: a long deterministic mixed workload over every system at once,
+// with end-state invariant checks — the closest thing to a cluster burn-in
+// the simulator can express. Catches slow leaks (buffers, deferred posts),
+// counter drift, and cross-system interference that short tests miss.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/kv/prism_kv.h"
+#include "src/rs/prism_rs.h"
+#include "src/sim/task.h"
+#include "src/tx/prism_tx.h"
+
+namespace prism {
+namespace {
+
+using sim::Task;
+
+TEST(SoakTest, MixedWorkloadWithFailuresAndLoss) {
+  sim::Simulator sim;
+  net::CostModel model = net::CostModel::EvalCluster40G();
+  model.loss_probability = 0.01;  // 1% wire loss throughout
+  net::Fabric fabric(&sim, model, /*loss_seed=*/12345);
+
+  // PRISM-KV with size classes and a tight pool.
+  net::HostId kv_host = fabric.AddHost("kv");
+  kv::PrismKvOptions kv_opts;
+  kv_opts.n_buckets = 128;
+  kv_opts.n_buffers = 96;
+  kv_opts.size_classes = {64, 256};
+  kv_opts.max_value_size = 200;
+  kv_opts.reclaim_batch = 8;
+  kv::PrismKvServer kv_server(&fabric, kv_host, kv_opts);
+
+  // PRISM-RS, variable-size, with the one-round-read optimization.
+  rs::PrismRsOptions rs_opts;
+  rs_opts.n_blocks = 16;
+  rs_opts.block_size = 128;
+  rs_opts.buffers_per_replica = 512;
+  rs_opts.variable_block_size = true;
+  rs_opts.skip_unanimous_writeback = true;
+  rs::PrismRsCluster rs_cluster(&fabric, 3, rs_opts);
+
+  // PRISM-TX, two shards.
+  tx::PrismTxOptions tx_opts;
+  tx_opts.keys_per_shard = 64;
+  tx_opts.value_size = 64;
+  tx_opts.buffers_per_shard = 256;
+  tx::PrismTxCluster tx_cluster(&fabric, 2, tx_opts);
+  constexpr int kAccounts = 16;
+  constexpr uint64_t kOpening = 500;
+  uint64_t expected_total = 0;
+  for (uint64_t a = 0; a < kAccounts; ++a) {
+    Bytes v(64, 0);
+    StoreU64(v.data(), kOpening + a);
+    ASSERT_TRUE(tx_cluster.LoadKey(a, v).ok());
+    expected_total += kOpening + a;
+  }
+
+  // 3 clients per system, 400 ops each.
+  constexpr int kOpsPerClient = 400;
+  std::vector<std::unique_ptr<kv::PrismKvClient>> kv_clients;
+  std::vector<std::unique_ptr<rs::PrismRsClient>> rs_clients;
+  std::vector<std::unique_ptr<tx::PrismTxClient>> tx_clients;
+  for (int c = 0; c < 3; ++c) {
+    net::HostId host = fabric.AddHost("soak-client-" + std::to_string(c));
+    kv_clients.push_back(
+        std::make_unique<kv::PrismKvClient>(&fabric, host, &kv_server));
+    rs_clients.push_back(std::make_unique<rs::PrismRsClient>(
+        &fabric, host, &rs_cluster, static_cast<uint16_t>(c + 1)));
+    tx_clients.push_back(std::make_unique<tx::PrismTxClient>(
+        &fabric, host, &tx_cluster, static_cast<uint16_t>(c + 1)));
+  }
+
+  int kv_ops = 0, rs_ops = 0, tx_commits = 0;
+  for (int c = 0; c < 3; ++c) {
+    sim::Spawn([&, c]() -> Task<void> {
+      Rng rng(static_cast<uint64_t>(c) * 101 + 1);
+      kv::PrismKvClient* client = kv_clients[static_cast<size_t>(c)].get();
+      for (int i = 0; i < kOpsPerClient; ++i) {
+        std::string key = "k" + std::to_string(rng.NextBelow(24));
+        double dice = rng.NextDouble();
+        if (dice < 0.45) {
+          uint64_t size = 8 + rng.NextBelow(180);
+          Status s = co_await client->Put(key, Bytes(size, 1));
+          EXPECT_TRUE(s.ok()) << i << ": " << s;
+        } else if (dice < 0.55) {
+          (void)co_await client->Delete(key);  // NotFound is fine
+        } else {
+          (void)co_await client->Get(key);
+        }
+        kv_ops++;
+      }
+      client->FlushReclaim();
+    });
+    sim::Spawn([&, c]() -> Task<void> {
+      Rng rng(static_cast<uint64_t>(c) * 103 + 2);
+      rs::PrismRsClient* client = rs_clients[static_cast<size_t>(c)].get();
+      // Tags are per block: track monotonicity for each block separately.
+      std::map<uint64_t, uint64_t> last_tag;
+      for (int i = 0; i < kOpsPerClient; ++i) {
+        uint64_t block = rng.NextBelow(16);
+        rs::Tag tag;
+        if (rng.NextBool()) {
+          uint64_t size = 1 + rng.NextBelow(128);
+          Status s = co_await client->Put(
+              block, Bytes(size, static_cast<uint8_t>(i)), &tag);
+          EXPECT_TRUE(s.ok()) << i;
+          EXPECT_GT(tag.Packed(), last_tag[block]);
+        } else {
+          auto v = co_await client->Get(block, &tag);
+          EXPECT_TRUE(v.ok()) << i;
+          EXPECT_GE(tag.Packed(), last_tag[block]);
+        }
+        last_tag[block] = std::max(last_tag[block], tag.Packed());
+        rs_ops++;
+      }
+      client->FlushReclaim();
+    });
+    sim::Spawn([&, c]() -> Task<void> {
+      Rng rng(static_cast<uint64_t>(c) * 107 + 3);
+      tx::PrismTxClient* client = tx_clients[static_cast<size_t>(c)].get();
+      for (int i = 0; i < kOpsPerClient; ++i) {
+        uint64_t from = rng.NextBelow(kAccounts);
+        uint64_t to = rng.NextBelow(kAccounts);
+        if (from == to) continue;
+        tx::Transaction t = client->Begin();
+        auto vf = co_await client->Read(t, from);
+        auto vt = co_await client->Read(t, to);
+        if (!vf.ok() || !vt.ok()) continue;
+        uint64_t bf = LoadU64(vf->data());
+        uint64_t bt = LoadU64(vt->data());
+        uint64_t amount = 1 + rng.NextBelow(9);
+        if (bf < amount) continue;
+        Bytes nf(64, 0), nt(64, 0);
+        StoreU64(nf.data(), bf - amount);
+        StoreU64(nt.data(), bt + amount);
+        client->Write(t, from, std::move(nf));
+        client->Write(t, to, std::move(nt));
+        if ((co_await client->Commit(t)).ok()) tx_commits++;
+      }
+      client->FlushReclaim();
+    });
+  }
+  sim.Run();
+
+  EXPECT_EQ(kv_ops, 3 * kOpsPerClient);
+  EXPECT_EQ(rs_ops, 3 * kOpsPerClient);
+  EXPECT_GT(tx_commits, 100);
+
+  // ---- end-state invariants ----
+  // KV: live keys (≤24) account for every missing buffer.
+  EXPECT_GE(kv_server.free_buffers(), 2u * 96 - 1 - 24 - 8);
+  // RS: replica pools recycled (≤16 live blocks + in-flight batches each).
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_GT(rs_cluster.replica(r).prism().freelists().available(
+                  rs_cluster.replica(r).freelist()),
+              400u);
+  }
+  // TX: money conserved.
+  uint64_t total = 0;
+  bool audited = false;
+  sim::Spawn([&]() -> Task<void> {
+    tx::Transaction t = tx_clients[0]->Begin();
+    for (uint64_t a = 0; a < kAccounts; ++a) {
+      auto v = co_await tx_clients[0]->Read(t, a);
+      EXPECT_TRUE(v.ok());
+      total += LoadU64(v->data());
+    }
+    audited = true;
+  });
+  sim.Run();
+  EXPECT_TRUE(audited);
+  EXPECT_EQ(total, expected_total);
+  // Losses happened and were recovered.
+  EXPECT_GT(fabric.retransmissions(), 50u);
+  EXPECT_EQ(fabric.dropped_messages(), 0u);
+}
+
+}  // namespace
+}  // namespace prism

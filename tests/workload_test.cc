@@ -1,0 +1,139 @@
+// Tests for the workload generators and measurement harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/workload/driver.h"
+#include "src/workload/zipf.h"
+
+namespace prism::workload {
+namespace {
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfGenerator zipf(100, 0.0);
+  Rng rng(1);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) counts[zipf.Next(rng)]++;
+  for (int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(ZipfTest, RanksAreInRange) {
+  for (double theta : {0.0, 0.5, 0.9, 0.99, 1.2, 1.6}) {
+    ZipfGenerator zipf(1000, theta);
+    Rng rng(7);
+    for (int i = 0; i < 5000; ++i) {
+      EXPECT_LT(zipf.Next(rng), 1000u) << "theta " << theta;
+    }
+  }
+}
+
+TEST(ZipfTest, SkewIncreasesWithTheta) {
+  Rng rng(3);
+  double prev_top_share = 0;
+  for (double theta : {0.2, 0.6, 0.9, 1.2}) {
+    ZipfGenerator zipf(10000, theta);
+    int top10 = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+      if (zipf.Next(rng) < 10) top10++;
+    }
+    double share = static_cast<double>(top10) / n;
+    EXPECT_GT(share, prev_top_share) << "theta " << theta;
+    prev_top_share = share;
+  }
+  // At theta 1.2 the hottest 10 of 10k keys dominate.
+  EXPECT_GT(prev_top_share, 0.4);
+}
+
+TEST(ZipfTest, RankZeroIsHottest) {
+  ZipfGenerator zipf(1000, 0.99);
+  Rng rng(11);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) counts[zipf.Next(rng)]++;
+  int max_count = 0;
+  uint64_t max_rank = 0;
+  for (auto& [rank, count] : counts) {
+    if (count > max_count) {
+      max_count = count;
+      max_rank = rank;
+    }
+  }
+  EXPECT_EQ(max_rank, 0u);
+}
+
+TEST(ZipfTest, HighThetaUsesCdfAndMatchesDistribution) {
+  // theta = 1.4 (CDF path): P(rank 0) = 1/zeta(n,1.4).
+  const uint64_t n = 1000;
+  ZipfGenerator zipf(n, 1.4);
+  Rng rng(13);
+  int zeros = 0;
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) {
+    if (zipf.Next(rng) == 0) zeros++;
+  }
+  double zeta = 0;
+  for (uint64_t k = 1; k <= n; ++k) zeta += 1.0 / std::pow(k, 1.4);
+  EXPECT_NEAR(static_cast<double>(zeros) / samples, 1.0 / zeta, 0.01);
+}
+
+TEST(KeyChooserTest, ScattersHotKeys) {
+  // With scattering, the hottest keys must not be consecutive integers.
+  KeyChooser chooser(10000, 0.99);
+  Rng rng(5);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) counts[chooser.Next(rng)]++;
+  std::vector<std::pair<int, uint64_t>> by_count;
+  for (auto& [k, c] : counts) by_count.push_back({c, k});
+  std::sort(by_count.rbegin(), by_count.rend());
+  ASSERT_GE(by_count.size(), 3u);
+  uint64_t hottest = by_count[0].second;
+  uint64_t second = by_count[1].second;
+  EXPECT_GT(hottest > second ? hottest - second : second - hottest, 1u);
+}
+
+TEST(RecorderTest, WarmupWindowExcluded) {
+  sim::Simulator sim;
+  Recorder recorder(&sim, sim::Micros(100), sim::Micros(200));
+  // Op starting before the window: excluded.
+  sim.RunUntil(sim::Micros(150));
+  recorder.Record(sim::Micros(50));
+  EXPECT_EQ(recorder.completed(), 0);
+  // Op inside the window: counted.
+  recorder.Record(sim::Micros(120));
+  EXPECT_EQ(recorder.completed(), 1);
+  // Op completing after the window: excluded.
+  sim.RunUntil(sim::Micros(250));
+  recorder.Record(sim::Micros(180));
+  EXPECT_EQ(recorder.completed(), 1);
+}
+
+TEST(RecorderTest, ThroughputMath) {
+  sim::Simulator sim;
+  Recorder recorder(&sim, 0, sim::Millis(1));
+  sim.RunUntil(sim::Micros(500));
+  for (int i = 0; i < 1000; ++i) recorder.Record(sim.Now() - sim::Micros(5));
+  // 1000 ops over a 1 ms window = 1 Mops.
+  EXPECT_DOUBLE_EQ(recorder.ThroughputMops(), 1.0);
+  auto point = MakeLoadPoint(4, recorder);
+  EXPECT_EQ(point.clients, 4);
+  EXPECT_DOUBLE_EQ(point.mean_us, 5.0);
+}
+
+TEST(RecorderTest, AbortRate) {
+  sim::Simulator sim;
+  Recorder recorder(&sim, 0, sim::Millis(1));
+  sim.RunUntil(sim::Micros(10));
+  for (int i = 0; i < 90; ++i) recorder.Record(sim.Now());
+  for (int i = 0; i < 10; ++i) recorder.RecordAbort();
+  auto point = MakeLoadPoint(1, recorder);
+  EXPECT_DOUBLE_EQ(point.abort_rate, 0.1);
+}
+
+}  // namespace
+}  // namespace prism::workload
