@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_abd_oneround_reads.dir/abl_abd_oneround_reads.cpp.o"
+  "CMakeFiles/abl_abd_oneround_reads.dir/abl_abd_oneround_reads.cpp.o.d"
+  "abl_abd_oneround_reads"
+  "abl_abd_oneround_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_abd_oneround_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

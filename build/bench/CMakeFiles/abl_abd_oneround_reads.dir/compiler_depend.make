@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_abd_oneround_reads.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_abd_oneround_reads.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_allocator.dir/abl_allocator.cpp.o"
+  "CMakeFiles/abl_allocator.dir/abl_allocator.cpp.o.d"
+  "abl_allocator"
+  "abl_allocator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_chaining.dir/abl_chaining.cpp.o"
+  "CMakeFiles/abl_chaining.dir/abl_chaining.cpp.o.d"
+  "abl_chaining"
+  "abl_chaining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_chaining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

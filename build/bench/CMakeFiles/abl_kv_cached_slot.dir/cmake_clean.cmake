@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_kv_cached_slot.dir/abl_kv_cached_slot.cpp.o"
+  "CMakeFiles/abl_kv_cached_slot.dir/abl_kv_cached_slot.cpp.o.d"
+  "abl_kv_cached_slot"
+  "abl_kv_cached_slot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_kv_cached_slot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

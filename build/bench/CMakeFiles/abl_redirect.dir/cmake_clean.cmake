@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_redirect.dir/abl_redirect.cpp.o"
+  "CMakeFiles/abl_redirect.dir/abl_redirect.cpp.o.d"
+  "abl_redirect"
+  "abl_redirect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_redirect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_search.dir/abl_search.cpp.o"
+  "CMakeFiles/abl_search.dir/abl_search.cpp.o.d"
+  "abl_search"
+  "abl_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_sim_micro.dir/abl_sim_micro.cpp.o"
+  "CMakeFiles/abl_sim_micro.dir/abl_sim_micro.cpp.o.d"
+  "abl_sim_micro"
+  "abl_sim_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_sim_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

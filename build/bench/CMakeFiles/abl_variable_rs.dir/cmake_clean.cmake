@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_variable_rs.dir/abl_variable_rs.cpp.o"
+  "CMakeFiles/abl_variable_rs.dir/abl_variable_rs.cpp.o.d"
+  "abl_variable_rs"
+  "abl_variable_rs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_variable_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tx_zipf.dir/fig10_tx_zipf.cpp.o"
+  "CMakeFiles/fig10_tx_zipf.dir/fig10_tx_zipf.cpp.o.d"
+  "fig10_tx_zipf"
+  "fig10_tx_zipf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tx_zipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

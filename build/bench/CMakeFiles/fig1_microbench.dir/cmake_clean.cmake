@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_microbench.dir/fig1_microbench.cpp.o"
+  "CMakeFiles/fig1_microbench.dir/fig1_microbench.cpp.o.d"
+  "fig1_microbench"
+  "fig1_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

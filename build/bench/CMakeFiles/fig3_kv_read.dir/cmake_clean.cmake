@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_kv_read.dir/fig3_kv_read.cpp.o"
+  "CMakeFiles/fig3_kv_read.dir/fig3_kv_read.cpp.o.d"
+  "fig3_kv_read"
+  "fig3_kv_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_kv_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_rs_tput.dir/fig6_rs_tput.cpp.o"
+  "CMakeFiles/fig6_rs_tput.dir/fig6_rs_tput.cpp.o.d"
+  "fig6_rs_tput"
+  "fig6_rs_tput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_rs_tput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

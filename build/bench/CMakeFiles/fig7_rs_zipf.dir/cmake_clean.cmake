@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_rs_zipf.dir/fig7_rs_zipf.cpp.o"
+  "CMakeFiles/fig7_rs_zipf.dir/fig7_rs_zipf.cpp.o.d"
+  "fig7_rs_zipf"
+  "fig7_rs_zipf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_rs_zipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

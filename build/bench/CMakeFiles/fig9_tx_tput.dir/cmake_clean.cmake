@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_tx_tput.dir/fig9_tx_tput.cpp.o"
+  "CMakeFiles/fig9_tx_tput.dir/fig9_tx_tput.cpp.o.d"
+  "fig9_tx_tput"
+  "fig9_tx_tput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_tx_tput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

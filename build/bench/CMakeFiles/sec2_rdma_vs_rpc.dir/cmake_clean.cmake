@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec2_rdma_vs_rpc.dir/sec2_rdma_vs_rpc.cpp.o"
+  "CMakeFiles/sec2_rdma_vs_rpc.dir/sec2_rdma_vs_rpc.cpp.o.d"
+  "sec2_rdma_vs_rpc"
+  "sec2_rdma_vs_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec2_rdma_vs_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_scan.dir/log_scan.cpp.o"
+  "CMakeFiles/log_scan.dir/log_scan.cpp.o.d"
+  "log_scan"
+  "log_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

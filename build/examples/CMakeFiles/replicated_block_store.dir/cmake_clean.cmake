@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_block_store.dir/replicated_block_store.cpp.o"
+  "CMakeFiles/replicated_block_store.dir/replicated_block_store.cpp.o.d"
+  "replicated_block_store"
+  "replicated_block_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_block_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_common.dir/bytes.cc.o"
+  "CMakeFiles/prism_common.dir/bytes.cc.o.d"
+  "CMakeFiles/prism_common.dir/hash.cc.o"
+  "CMakeFiles/prism_common.dir/hash.cc.o.d"
+  "CMakeFiles/prism_common.dir/histogram.cc.o"
+  "CMakeFiles/prism_common.dir/histogram.cc.o.d"
+  "CMakeFiles/prism_common.dir/rng.cc.o"
+  "CMakeFiles/prism_common.dir/rng.cc.o.d"
+  "CMakeFiles/prism_common.dir/status.cc.o"
+  "CMakeFiles/prism_common.dir/status.cc.o.d"
+  "libprism_common.a"
+  "libprism_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

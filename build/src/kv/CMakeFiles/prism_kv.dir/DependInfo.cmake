@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/pilaf.cc" "src/kv/CMakeFiles/prism_kv.dir/pilaf.cc.o" "gcc" "src/kv/CMakeFiles/prism_kv.dir/pilaf.cc.o.d"
+  "/root/repo/src/kv/prism_kv.cc" "src/kv/CMakeFiles/prism_kv.dir/prism_kv.cc.o" "gcc" "src/kv/CMakeFiles/prism_kv.dir/prism_kv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prism_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdma/CMakeFiles/prism_rdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/prism/CMakeFiles/prism_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

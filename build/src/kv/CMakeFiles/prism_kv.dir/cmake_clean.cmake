@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_kv.dir/pilaf.cc.o"
+  "CMakeFiles/prism_kv.dir/pilaf.cc.o.d"
+  "CMakeFiles/prism_kv.dir/prism_kv.cc.o"
+  "CMakeFiles/prism_kv.dir/prism_kv.cc.o.d"
+  "libprism_kv.a"
+  "libprism_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

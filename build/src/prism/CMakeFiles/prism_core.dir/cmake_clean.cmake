@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_core.dir/executor.cc.o"
+  "CMakeFiles/prism_core.dir/executor.cc.o.d"
+  "CMakeFiles/prism_core.dir/freelist.cc.o"
+  "CMakeFiles/prism_core.dir/freelist.cc.o.d"
+  "CMakeFiles/prism_core.dir/wire.cc.o"
+  "CMakeFiles/prism_core.dir/wire.cc.o.d"
+  "libprism_core.a"
+  "libprism_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

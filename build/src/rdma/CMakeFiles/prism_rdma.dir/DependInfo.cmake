@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdma/memory.cc" "src/rdma/CMakeFiles/prism_rdma.dir/memory.cc.o" "gcc" "src/rdma/CMakeFiles/prism_rdma.dir/memory.cc.o.d"
+  "/root/repo/src/rdma/qp.cc" "src/rdma/CMakeFiles/prism_rdma.dir/qp.cc.o" "gcc" "src/rdma/CMakeFiles/prism_rdma.dir/qp.cc.o.d"
+  "/root/repo/src/rdma/verbs.cc" "src/rdma/CMakeFiles/prism_rdma.dir/verbs.cc.o" "gcc" "src/rdma/CMakeFiles/prism_rdma.dir/verbs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/prism_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

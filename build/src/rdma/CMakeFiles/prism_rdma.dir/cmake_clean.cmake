@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_rdma.dir/memory.cc.o"
+  "CMakeFiles/prism_rdma.dir/memory.cc.o.d"
+  "CMakeFiles/prism_rdma.dir/qp.cc.o"
+  "CMakeFiles/prism_rdma.dir/qp.cc.o.d"
+  "CMakeFiles/prism_rdma.dir/verbs.cc.o"
+  "CMakeFiles/prism_rdma.dir/verbs.cc.o.d"
+  "libprism_rdma.a"
+  "libprism_rdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

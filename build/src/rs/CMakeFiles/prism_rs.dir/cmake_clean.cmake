@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_rs.dir/abd_lock.cc.o"
+  "CMakeFiles/prism_rs.dir/abd_lock.cc.o.d"
+  "CMakeFiles/prism_rs.dir/prism_rs.cc.o"
+  "CMakeFiles/prism_rs.dir/prism_rs.cc.o.d"
+  "libprism_rs.a"
+  "libprism_rs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_tx.dir/farm.cc.o"
+  "CMakeFiles/prism_tx.dir/farm.cc.o.d"
+  "CMakeFiles/prism_tx.dir/prism_tx.cc.o"
+  "CMakeFiles/prism_tx.dir/prism_tx.cc.o.d"
+  "libprism_tx.a"
+  "libprism_tx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_workload.dir/zipf.cc.o"
+  "CMakeFiles/prism_workload.dir/zipf.cc.o.d"
+  "libprism_workload.a"
+  "libprism_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_executor_test.dir/prism_executor_test.cc.o"
+  "CMakeFiles/prism_executor_test.dir/prism_executor_test.cc.o.d"
+  "prism_executor_test"
+  "prism_executor_test.pdb"
+  "prism_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prism_service_test.dir/prism_service_test.cc.o"
+  "CMakeFiles/prism_service_test.dir/prism_service_test.cc.o.d"
+  "prism_service_test"
+  "prism_service_test.pdb"
+  "prism_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prism_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
