@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full pre-merge check: tier-1 verify (ROADMAP.md) plus an ASan+UBSan build
+# of the whole tree with the sanitize-labeled test suite.
+#
+#   scripts/check.sh            # tier-1 + sanitizers
+#   scripts/check.sh --fast     # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "==> tier-1: configure + build (build/)"
+cmake --preset default >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "==> tier-1: ctest"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "OK (fast: sanitizer pass skipped)"
+  exit 0
+fi
+
+echo "==> sanitize: ASan+UBSan configure + build (build-asan/)"
+cmake --preset asan >/dev/null
+cmake --build build-asan -j "$JOBS"
+
+echo "==> sanitize: ctest (label: sanitize)"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L sanitize
+
+echo "OK"

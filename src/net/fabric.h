@@ -20,6 +20,8 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -63,21 +65,67 @@ class Fabric {
   // transport-level retransmissions of lost frames), or on_dropped (if
   // provided) if either endpoint is down or retransmissions are exhausted.
   // Loopback (src == dst) skips the wire but still pays a small local hop.
+  //
+  // Both callbacks are accepted generically and move straight into the
+  // simulator's inline event storage on the (dominant) lossless path; a
+  // type-erased PendingSend record is allocated only when a frame is lost
+  // and the retransmit machinery needs to re-arm, and from then on the
+  // callbacks are moved — never copied — between retransmit hops.
+  template <typename Delivery, typename Dropped>
+  void Send(HostId src, HostId dst, size_t payload_bytes, Delivery on_delivery,
+            Dropped on_dropped) {
+    if (!TryAttempt(src, dst, payload_bytes, on_delivery, on_dropped,
+                    /*attempt=*/0)) {
+      auto pending = std::make_unique<PendingSend>(
+          PendingSend{src, dst, payload_bytes, std::move(on_delivery),
+                      std::move(on_dropped), /*attempt=*/0});
+      ScheduleRetransmit(std::move(pending));
+    }
+  }
+
+  template <typename Delivery>
   void Send(HostId src, HostId dst, size_t payload_bytes,
-            std::function<void()> on_delivery,
-            std::function<void()> on_dropped = nullptr) {
-    SendAttempt(src, dst, payload_bytes, std::move(on_delivery),
-                std::move(on_dropped), /*attempt=*/0);
+            Delivery on_delivery) {
+    Send(src, dst, payload_bytes, std::move(on_delivery), nullptr);
   }
 
  private:
-  void SendAttempt(HostId src, HostId dst, size_t payload_bytes,
-                   std::function<void()> on_delivery,
-                   std::function<void()> on_dropped, int attempt) {
+  struct PendingSend {
+    HostId src;
+    HostId dst;
+    size_t payload_bytes;
+    std::function<void()> on_delivery;
+    std::function<void()> on_dropped;
+    int attempt;
+  };
+
+  // True when `f` is an invocable callback: not nullptr, and not an empty
+  // std::function (bool-testable callables are tested; plain lambdas are
+  // always live).
+  template <typename F>
+  static bool HasCallback(const F& f) {
+    if constexpr (std::is_same_v<F, std::nullptr_t>) {
+      return false;
+    } else if constexpr (std::is_constructible_v<bool, const F&>) {
+      return static_cast<bool>(f);
+    } else {
+      return true;
+    }
+  }
+
+  // Performs one wire attempt. Returns false iff the frame was lost and a
+  // retransmission should be armed; every other outcome schedules exactly
+  // one of the callbacks (consuming it by move).
+  template <typename Delivery, typename Dropped>
+  bool TryAttempt(HostId src, HostId dst, size_t payload_bytes,
+                  Delivery& on_delivery, Dropped& on_dropped, int attempt) {
+    constexpr bool kHasDropped = !std::is_same_v<Dropped, std::nullptr_t>;
     if (!At(src).up || !At(dst).up) {
-      if (on_dropped) sim_->Schedule(0, std::move(on_dropped));
+      if constexpr (kHasDropped) {
+        if (HasCallback(on_dropped)) sim_->Schedule(0, std::move(on_dropped));
+      }
       dropped_messages_++;
-      return;
+      return true;
     }
     total_messages_++;
     total_wire_bytes_ += model_.WireBytes(payload_bytes);
@@ -88,23 +136,20 @@ class Fabric {
         loss_rng_.NextDouble() < model_.loss_probability) {
       lost_messages_++;
       if (attempt >= model_.max_retransmits) {
-        if (on_dropped) sim_->Schedule(0, std::move(on_dropped));
+        if constexpr (kHasDropped) {
+          if (HasCallback(on_dropped)) {
+            sim_->Schedule(0, std::move(on_dropped));
+          }
+        }
         dropped_messages_++;
-        return;
+        return true;
       }
       retransmissions_++;
-      sim_->Schedule(model_.retransmit_timeout,
-                     [this, src, dst, payload_bytes,
-                      cb = std::move(on_delivery),
-                      dr = std::move(on_dropped), attempt]() mutable {
-                       SendAttempt(src, dst, payload_bytes, std::move(cb),
-                                   std::move(dr), attempt + 1);
-                     });
-      return;
+      return false;
     }
     if (src == dst) {
       sim_->Schedule(sim::Nanos(200), std::move(on_delivery));
-      return;
+      return true;
     }
     const sim::Duration ser = model_.SerializationDelay(payload_bytes);
     Host& s = At(src);
@@ -120,6 +165,20 @@ class Fabric {
       // A host that died while the message was in flight still drops it.
       if (At(dst).up) cb();
     });
+    return true;
+  }
+
+  void ScheduleRetransmit(std::unique_ptr<PendingSend> pending) {
+    sim_->Schedule(model_.retransmit_timeout,
+                   [this, p = std::move(pending)]() mutable { Retry(std::move(p)); });
+  }
+
+  void Retry(std::unique_ptr<PendingSend> p) {
+    ++p->attempt;
+    if (!TryAttempt(p->src, p->dst, p->payload_bytes, p->on_delivery,
+                    p->on_dropped, p->attempt)) {
+      ScheduleRetransmit(std::move(p));
+    }
   }
 
  public:

@@ -40,9 +40,14 @@ Status Executor::CheckAccess(rdma::RKey rkey, rdma::Addr addr, uint64_t len,
 
 Result<Executor::Target> Executor::ResolveTarget(const Op& op,
                                                  uint32_t need_access) const {
+  return ResolveTarget(op, op.len, need_access);
+}
+
+Result<Executor::Target> Executor::ResolveTarget(const Op& op, uint64_t len,
+                                                 uint32_t need_access) const {
   if (!op.addr_indirect) {
-    PRISM_RETURN_IF_ERROR(CheckAccess(op.rkey, op.addr, op.len, need_access));
-    return Target{op.addr, op.len};
+    PRISM_RETURN_IF_ERROR(CheckAccess(op.rkey, op.addr, len, need_access));
+    return Target{op.addr, len};
   }
   // The pointer slot itself must be readable under the same rkey.
   const uint64_t slot_size = op.addr_bounded ? BoundedPtr::kWireSize : 8;
@@ -53,10 +58,10 @@ Result<Executor::Target> Executor::ResolveTarget(const Op& op,
     BoundedPtr bp = BoundedPtr::Load(mem_->RawAt(op.addr,
                                                  BoundedPtr::kWireSize));
     target.addr = bp.ptr;
-    target.len = std::min<uint64_t>(op.len, bp.bound);
+    target.len = std::min<uint64_t>(len, bp.bound);
   } else {
     target.addr = mem_->LoadWord(op.addr);
-    target.len = op.len;
+    target.len = len;
   }
   // §3.1: the pointed-to location must be covered by the same rkey.
   PRISM_RETURN_IF_ERROR(CheckAccess(op.rkey, target.addr, target.len,
@@ -130,9 +135,7 @@ OpResult Executor::DoCas(const Op& op) {
     return result;
   }
   // Resolve indirect target (dereference is not atomic; the CAS below is).
-  Op resolved = op;
-  resolved.len = width;
-  auto target = ResolveTarget(resolved, kRemoteAtomic);
+  auto target = ResolveTarget(op, width, kRemoteAtomic);
   if (!target.ok()) {
     result.status = target.status();
     return result;

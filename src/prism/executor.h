@@ -75,6 +75,10 @@ class Executor {
     uint64_t len = 0;
   };
   Result<Target> ResolveTarget(const Op& op, uint32_t need_access) const;
+  // As above but with an explicit access length (CAS resolves the operand
+  // width, not op.len) — avoids deep-copying the Op to override one field.
+  Result<Target> ResolveTarget(const Op& op, uint64_t len,
+                               uint32_t need_access) const;
 
   // Resolves the data operand honoring data_indirect (loads `width` bytes
   // from the server-side source).

@@ -264,7 +264,7 @@ class PrismClient {
     const size_t req_payload = EncodedChainSize(*chain_ptr);
     fabric_->Send(
         self_, server->host(), req_payload,
-        [this, server, chain_ptr, state] {
+        [this, server, chain_ptr = std::move(chain_ptr), state] {
           sim::Spawn([this, server, chain_ptr, state]() -> sim::Task<void> {
             auto results = std::make_shared<ChainResult>();
             co_await server->RunChain(chain_ptr, results);

@@ -119,7 +119,7 @@ class RdmaClient {
     auto payload = std::make_shared<Bytes>(std::move(data));
     fabric_->Send(
         self_, svc->host(), req_payload,
-        [this, svc, rkey, addr, payload, state] {
+        [this, svc, rkey, addr, payload = std::move(payload), state] {
           sim::Spawn([this, svc, rkey, addr, payload,
                       state]() -> sim::Task<void> {
             co_await svc->ServerPath(fabric_->cost().pcie_write);
@@ -202,7 +202,7 @@ class RdmaClient {
                                             std::move(swap_mask)});
     fabric_->Send(
         self_, svc->host(), req_payload,
-        [this, svc, rkey, addr, args, mode, state, width] {
+        [this, svc, rkey, addr, args = std::move(args), mode, state, width] {
           sim::Spawn([this, svc, rkey, addr, args, mode, state,
                       width]() -> sim::Task<void> {
             const net::CostModel& cost = fabric_->cost();

@@ -131,9 +131,10 @@ class RpcClient {
                                      MessagePtr request_ptr) {
     auto state = std::make_shared<CallState>(fabric_->simulator());
     co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().client_post);
+    const size_t req_wire = request_ptr->wire_bytes();
     fabric_->Send(
-        self_, server->host(), request_ptr->wire_bytes(),
-        [this, server, method, request_ptr, state] {
+        self_, server->host(), req_wire,
+        [this, server, method, request_ptr = std::move(request_ptr), state] {
           sim::Spawn([this, server, method, request_ptr,
                       state]() -> sim::Task<void> {
             MessagePtr response = co_await server->Serve(method, request_ptr);

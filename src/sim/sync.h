@@ -2,6 +2,10 @@
 //
 // All wakeups are funneled through Simulator::Resume (never nested resumption)
 // so waiters run in strict FIFO arrival order at the timestamp of the wakeup.
+// Resume(h) is the simulator's zero-delay fast path — a pooled O(1) ring push
+// with the coroutine handle stored inline, no heap allocation — so handoffs
+// here (Event::Set fan-out, Channel push-to-consumer, Mutex/ServiceQueue
+// ownership transfer) cost a few nanoseconds of real time per wakeup.
 //
 //  * Event        — one-shot manual event, any number of waiters.
 //  * Quorum       — "k of n" join used by ABD and PRISM-TX: responders call

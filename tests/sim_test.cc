@@ -1,12 +1,30 @@
 // Tests for the discrete-event simulator and coroutine framework.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <utility>
 #include <vector>
 
 #include "src/sim/simulator.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
 #include "src/sim/time.h"
+
+// Global allocation counter used by ZeroDelayFastPathAllocatesNothing. The
+// default operator new[] forwards here, so scalar overrides cover both forms.
+namespace {
+uint64_t g_new_calls = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_new_calls;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 
 namespace prism::sim {
 namespace {
@@ -300,6 +318,127 @@ TEST(ServiceQueueTest, UtilizationAccounting) {
   sim.Run();
   EXPECT_EQ(q.total_busy(), Micros(30));
   EXPECT_EQ(sim.Now(), Micros(15));  // 6 jobs / 2 servers * 5us
+}
+
+TEST(SimulatorTest, RingAndTimerMergeBySequence) {
+  // A timer that lands at time T and a zero-delay event pushed *while the
+  // simulator is at T* must interleave in global schedule order: the timer
+  // was scheduled first (lower seq) so it fires first.
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Micros(1), [&] {
+    order.push_back(1);
+    sim.Schedule(0, [&] { order.push_back(3); });  // ring lane, seq > timer's
+  });
+  sim.Schedule(Micros(1), [&] { order.push_back(2); });  // timer, same when
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, ScheduleAtNowTakesRingLane) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(sim.Now(), [&] { fired++; });
+  const uint64_t ring = sim.stats().zero_delay_events;
+  EXPECT_EQ(ring, 1u);
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulatorTest, MoveOnlyCallables) {
+  Simulator sim;
+  int got = 0;
+  auto payload = std::make_unique<int>(42);
+  sim.Schedule(Micros(1), [&got, p = std::move(payload)] { got = *p; });
+  sim.Run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(SimulatorTest, OversizedCaptureSpillsToHeapAndStillFires) {
+  Simulator sim;
+  struct Big {
+    char bytes[96] = {};  // > EventRecord::kInlineBytes
+  };
+  Big big;
+  big.bytes[95] = 7;
+  int got = 0;
+  int small = 0;
+  sim.Schedule(Micros(1), [&got, big] { got = big.bytes[95]; });
+  sim.Schedule(Micros(2), [&small] { small = 1; });  // fits inline
+  EXPECT_EQ(sim.stats().heap_callables, 1u);
+  sim.Run();
+  EXPECT_EQ(got, 7);
+  EXPECT_EQ(small, 1);
+}
+
+TEST(SimulatorTest, PendingEventsDisposedOnDestruction) {
+  // Never-fired events (ring, wheel, and overflow) must release their
+  // captured state when the simulator dies.
+  auto token = std::make_shared<int>(1);
+  {
+    Simulator sim;
+    sim.Schedule(0, [t = token] {});
+    sim.Schedule(Micros(5), [t = token] {});
+    sim.Schedule(Seconds(10), [t = token] {});  // far beyond wheel horizon
+    EXPECT_EQ(token.use_count(), 4);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(SimulatorTest, FarFutureTimersOverflowAndMigrate) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Seconds(2), [&] { order.push_back(3); });
+  sim.Schedule(Seconds(1), [&] { order.push_back(2); });
+  sim.Schedule(Micros(1), [&] { order.push_back(1); });
+  EXPECT_GE(sim.stats().overflow_events, 2u);
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Seconds(2));
+}
+
+TEST(SimulatorTest, StatsCountLanes) {
+  Simulator sim;
+  sim.Schedule(Micros(3), [] {});
+  sim.Schedule(0, [] {});
+  sim.Schedule(0, [] {});
+  EXPECT_EQ(sim.stats().zero_delay_events, 2u);
+  EXPECT_EQ(sim.stats().timer_events, 1u);
+  sim.Run();
+  EXPECT_EQ(sim.executed_events(), 3u);
+}
+
+TEST(SimulatorTest, ZeroDelayFastPathAllocatesNothing) {
+  Simulator sim;
+  // Warm-up: grow the event pool and the ring to steady-state width, and let
+  // coroutine frames etc. settle.
+  constexpr int kWidth = 64;
+  int warm = 0;
+  for (int i = 0; i < kWidth; ++i) sim.Schedule(0, [&warm] { warm++; });
+  sim.Run();
+  EXPECT_EQ(warm, kWidth);
+
+  // Measured phase: a self-sustaining zero-delay cascade. Every Schedule hit
+  // must reuse pooled records with inline callable storage — zero heap
+  // allocations end to end.
+  int fired = 0;
+  struct Chain {
+    Simulator* sim;
+    int* fired;
+    int remaining;
+    void operator()() {
+      ++*fired;
+      if (--remaining > 0) sim->Schedule(0, Chain{sim, fired, remaining});
+    }
+  };
+  for (int i = 0; i < kWidth; ++i) {
+    sim.Schedule(0, Chain{&sim, &fired, /*remaining=*/1000});
+  }
+  const uint64_t allocs_before = g_new_calls;
+  sim.Run();
+  const uint64_t allocs_during = g_new_calls - allocs_before;
+  EXPECT_EQ(allocs_during, 0u);
+  EXPECT_EQ(fired, kWidth * 1000);
 }
 
 TEST(SleepTest, ZeroSleepYields) {
