@@ -1,0 +1,56 @@
+# Bench smoke test: run abl_sim_micro in fast mode with the google-benchmark
+# suite filtered out (the engine-throughput probes always run and write
+# results/BENCH_sim.json), then validate the JSON parses and carries the
+# expected schema. Invoked by CTest as
+#   cmake -DBENCH_BIN=<abl_sim_micro> -DWORK_DIR=<build dir> -P bench_smoke.cmake
+if(NOT BENCH_BIN OR NOT WORK_DIR)
+  message(FATAL_ERROR "bench_smoke.cmake needs -DBENCH_BIN=... and -DWORK_DIR=...")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env PRISM_BENCH_FAST=1
+          ${BENCH_BIN} --benchmark_filter=^$
+  WORKING_DIRECTORY ${WORK_DIR}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "abl_sim_micro exited with ${rc}:\n${out}\n${err}")
+endif()
+
+set(json_path ${WORK_DIR}/results/BENCH_sim.json)
+if(NOT EXISTS ${json_path})
+  message(FATAL_ERROR "bench did not write ${json_path}")
+endif()
+file(READ ${json_path} doc)
+
+# string(JSON) raises a hard error on malformed JSON or missing members.
+string(JSON bench_name GET "${doc}" bench)
+if(NOT bench_name STREQUAL "abl_sim_micro")
+  message(FATAL_ERROR "unexpected bench name '${bench_name}' in ${json_path}")
+endif()
+string(JSON fast GET "${doc}" fast_mode)
+if(NOT fast STREQUAL "ON" AND NOT fast STREQUAL "true")
+  message(FATAL_ERROR "PRISM_BENCH_FAST=1 not honored (fast_mode=${fast})")
+endif()
+
+foreach(probe zero_delay timer_wheel mixed)
+  string(JSON events GET "${doc}" ${probe} events)
+  if(events LESS_EQUAL 0)
+    message(FATAL_ERROR "probe ${probe}: events=${events}, expected > 0")
+  endif()
+  string(JSON rate GET "${doc}" ${probe} events_per_sec)
+  if(rate LESS_EQUAL 0)
+    message(FATAL_ERROR "probe ${probe}: events_per_sec=${rate}, expected > 0")
+  endif()
+  # Schema presence only — values are machine-dependent.
+  string(JSON ignored GET "${doc}" ${probe} wall_seconds)
+  string(JSON ignored GET "${doc}" ${probe} simulated_ns)
+  foreach(stat zero_delay_events timer_events overflow_events heap_callables
+               pool_blocks)
+    string(JSON ignored GET "${doc}" ${probe} engine_stats ${stat})
+  endforeach()
+endforeach()
+
+message(STATUS "BENCH_sim.json OK: all probes present with positive rates")

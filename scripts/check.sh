@@ -28,4 +28,7 @@ cmake --build build-asan -j "$JOBS"
 echo "==> sanitize: ctest (label: sanitize)"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L sanitize
 
+echo "==> chaos: seeded fault-injection sweeps under ASan (label: chaos)"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L chaos
+
 echo "OK"

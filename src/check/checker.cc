@@ -1,0 +1,162 @@
+#include "src/check/checker.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace prism::check {
+
+namespace {
+
+constexpr sim::TimePoint kInfinity = std::numeric_limits<sim::TimePoint>::max();
+
+// Wing–Gong search over one key's sub-history.
+class KeyChecker {
+ public:
+  KeyChecker(std::vector<Op> ops, ValueId initial)
+      : ops_(std::move(ops)), initial_(initial) {
+    resp_.reserve(ops_.size());
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      const Op& op = ops_[i];
+      const bool indeterminate = !op.done || op.outcome == Outcome::kIndeterminate;
+      resp_.push_back(indeterminate ? kInfinity : op.response);
+      if (!indeterminate) required_mask_ |= uint64_t{1} << i;
+    }
+  }
+
+  bool Linearizable() { return Search(0, initial_); }
+
+ private:
+  bool Search(uint64_t mask, ValueId value) {
+    if ((mask & required_mask_) == required_mask_) return true;
+    if (!seen_[mask].insert(value).second) return false;
+    sim::TimePoint min_resp = kInfinity;
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      if (mask & (uint64_t{1} << i)) continue;
+      min_resp = std::min(min_resp, resp_[i]);
+    }
+    for (size_t i = 0; i < ops_.size(); ++i) {
+      const uint64_t bit = uint64_t{1} << i;
+      if (mask & bit) continue;
+      const Op& op = ops_[i];
+      // Real-time order: an op may go next only if no pending op responded
+      // before this op was invoked.
+      if (op.invoke > min_resp) continue;
+      if (op.type == OpType::kWrite) {
+        if (Search(mask | bit, op.value)) return true;
+      } else if (op.value == value) {
+        if (Search(mask | bit, value)) return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<Op> ops_;
+  std::vector<sim::TimePoint> resp_;
+  ValueId initial_;
+  uint64_t required_mask_ = 0;
+  std::unordered_map<uint64_t, std::unordered_set<ValueId>> seen_;
+};
+
+bool Checkable(const Op& op) {
+  if (op.done && op.outcome == Outcome::kFailed) return false;  // no effect
+  if (op.type == OpType::kRead &&
+      (!op.done || op.outcome != Outcome::kOk)) {
+    return false;  // a read that returned nothing constrains nothing
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string FormatOp(const Op& op) {
+  const char* outcome = "open";
+  if (op.done) {
+    switch (op.outcome) {
+      case Outcome::kOk: outcome = "ok"; break;
+      case Outcome::kFailed: outcome = "failed"; break;
+      case Outcome::kIndeterminate: outcome = "indet"; break;
+    }
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "client %d %c key=%" PRIu64 " v=%016" PRIx64
+                " [%" PRId64 ", %" PRId64 "] %s",
+                op.client, op.type == OpType::kWrite ? 'W' : 'R', op.key,
+                op.value, op.invoke, op.done ? op.response : int64_t{-1},
+                outcome);
+  return buf;
+}
+
+CheckResult CheckLinearizable(const std::vector<Op>& history,
+                              ValueId initial) {
+  // Partition by key; register ops on distinct keys commute.
+  std::map<uint64_t, std::vector<Op>> by_key;
+  for (const Op& op : history) {
+    if (Checkable(op)) by_key[op.key].push_back(op);
+  }
+  for (auto& [key, ops] : by_key) {
+    if (ops.size() > kMaxOpsPerKey) {
+      CheckResult r;
+      r.ok = false;
+      r.error = "key " + std::to_string(key) + " has " +
+                std::to_string(ops.size()) +
+                " checkable ops; checker supports at most " +
+                std::to_string(kMaxOpsPerKey);
+      return r;
+    }
+    KeyChecker checker(ops, initial);
+    if (!checker.Linearizable()) {
+      CheckResult r;
+      r.ok = false;
+      std::vector<Op> sorted = ops;
+      std::sort(sorted.begin(), sorted.end(),
+                [](const Op& a, const Op& b) { return a.invoke < b.invoke; });
+      r.error = "key " + std::to_string(key) +
+                ": no valid linearization of:";
+      for (const Op& op : sorted) r.error += "\n  " + FormatOp(op);
+      return r;
+    }
+  }
+  return CheckResult{};
+}
+
+CheckResult CheckReadCommitted(
+    const std::vector<TxnRecord>& txns,
+    const std::vector<std::pair<uint64_t, ValueId>>& initial) {
+  std::unordered_map<uint64_t, std::unordered_set<ValueId>> allowed;
+  for (const auto& [key, value] : initial) allowed[key].insert(value);
+  for (const TxnRecord& t : txns) {
+    const bool may_install =
+        !t.done || t.outcome != TxOutcome::kAborted;
+    if (!may_install) continue;
+    for (const auto& [key, value] : t.writes) allowed[key].insert(value);
+  }
+  for (size_t i = 0; i < txns.size(); ++i) {
+    for (const auto& [key, value] : txns[i].reads) {
+      auto it = allowed.find(key);
+      const bool ok = (it != allowed.end() && it->second.count(value) > 0) ||
+                      value == kAbsent;
+      if (!ok) {
+        CheckResult r;
+        r.ok = false;
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "txn %zu (client %d) read key=%" PRIu64
+                      " v=%016" PRIx64
+                      ": value was never initial nor written by any "
+                      "committed/indeterminate transaction",
+                      i, txns[i].client, key, value);
+        r.error = buf;
+        return r;
+      }
+    }
+  }
+  return CheckResult{};
+}
+
+}  // namespace prism::check

@@ -1,0 +1,61 @@
+// Offline correctness checkers for recorded histories (history.h).
+//
+// CheckLinearizable: Wing–Gong linearizability for per-key atomic registers.
+// The history is partitioned by key (register operations on distinct keys
+// commute, so each key is checked independently — this is what keeps the
+// exponential search tractable), then each key's sub-history is searched for
+// a legal linearization:
+//   * an operation may be linearized next iff no other pending operation
+//     responded before its invocation (real-time order is respected);
+//   * a linearized write replaces the register value; a linearized read must
+//     observe the current value;
+//   * kFailed operations are excluded up front (they provably had no
+//     effect and observed nothing);
+//   * kIndeterminate writes are optional: the search may linearize them
+//     anywhere after their invocation (their response is treated as +∞) or
+//     never; kIndeterminate reads are excluded (they observed nothing).
+// Visited (linearized-set, register-value) states are memoized, giving the
+// usual Wing–Gong exponential worst case but near-linear behavior on real
+// histories.
+//
+// CheckReadCommitted: PRISM-TX's contract under faults. Every transactional
+// read must observe the key's initial value or a value written by a
+// committed (or indeterminately-committed) transaction; values written by
+// definitely-aborted transactions must never be observed.
+#ifndef PRISM_SRC_CHECK_CHECKER_H_
+#define PRISM_SRC_CHECK_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/check/history.h"
+
+namespace prism::check {
+
+struct CheckResult {
+  bool ok = true;
+  std::string error;  // human-readable witness when !ok
+};
+
+// Per-key register histories may hold at most this many checkable ops (the
+// memoized search keys on a 64-bit linearized-set mask).
+inline constexpr size_t kMaxOpsPerKey = 64;
+
+// Linearizability of a multi-key register history. `initial` is the value a
+// read of a never-written key must observe (IdOf(zero-block) for PRISM-RS,
+// kAbsent for PRISM-KV).
+CheckResult CheckLinearizable(const std::vector<Op>& history, ValueId initial);
+
+// Read-committed check over transaction records. `initial(key)` values are
+// supplied as a flat list of (key, value) pairs for keys preloaded before
+// the history started; unlisted keys start at kAbsent.
+CheckResult CheckReadCommitted(
+    const std::vector<TxnRecord>& txns,
+    const std::vector<std::pair<uint64_t, ValueId>>& initial);
+
+// Debug form of one op: "client 2 W key=5 v=abcd [t1,t2] ok".
+std::string FormatOp(const Op& op);
+
+}  // namespace prism::check
+
+#endif  // PRISM_SRC_CHECK_CHECKER_H_

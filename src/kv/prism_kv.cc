@@ -205,32 +205,72 @@ sim::Task<PrismKvClient::ProbeOutcome> PrismKvClient::Probe(
 
 sim::Task<Result<Bytes>> PrismKvClient::Get(const std::string& key) {
   auto key_ptr = std::make_shared<const Bytes>(BytesOfString(key));
+  size_t hid = 0;
+  if (history_ != nullptr) {
+    hid = history_->Begin(history_client_, check::IdOf(*key_ptr),
+                          check::OpType::kRead);
+  }
   ProbeOutcome probe = co_await Probe(key_ptr, /*for_write=*/false);
-  if (!probe.status.ok()) co_return probe.status;
-  if (!probe.found_key) co_return NotFound("key not present");
+  if (!probe.status.ok()) {
+    if (history_ != nullptr) {
+      // NotFound is a successful observation of absence; anything else
+      // returned no information.
+      if (probe.status.code() == Code::kNotFound) {
+        history_->End(hid, check::Outcome::kOk, check::kAbsent);
+      } else {
+        history_->End(hid, check::Outcome::kFailed);
+      }
+    }
+    co_return probe.status;
+  }
+  if (!probe.found_key) {
+    if (history_ != nullptr) {
+      history_->End(hid, check::Outcome::kOk, check::kAbsent);
+    }
+    co_return NotFound("key not present");
+  }
   auto record = DecodeRecord(probe.record);
-  if (!record.ok()) co_return record.status();
+  if (!record.ok()) {
+    if (history_ != nullptr) history_->End(hid, check::Outcome::kFailed);
+    co_return record.status();
+  }
+  if (history_ != nullptr) {
+    history_->End(hid, check::Outcome::kOk, check::IdOf(record->value));
+  }
   co_return std::move(record->value);
 }
 
 sim::Task<Status> PrismKvClient::Put(const std::string& key, Bytes value) {
   const PrismKvOptions& opts = server_->options();
+  auto key_ptr = std::make_shared<const Bytes>(BytesOfString(key));
+  size_t hid = 0;
+  if (history_ != nullptr) {
+    hid = history_->Begin(history_client_, check::IdOf(*key_ptr),
+                          check::OpType::kWrite, check::IdOf(value));
+  }
   if (value.size() > opts.max_value_size) {
+    if (history_ != nullptr) history_->End(hid, check::Outcome::kFailed);
     co_return InvalidArgument("value exceeds max_value_size");
   }
-  auto key_ptr = std::make_shared<const Bytes>(BytesOfString(key));
   auto record = std::make_shared<const Bytes>(EncodeRecord(*key_ptr, value));
   const uint64_t new_bound = record->size();
   // Pick the smallest size class that fits (Â§3.2). The class table is
   // static server configuration the client knows.
   auto queue = server_->QueueForRecord(record->size());
-  if (!queue.ok()) co_return queue.status();
+  if (!queue.ok()) {
+    if (history_ != nullptr) history_->End(hid, check::Outcome::kFailed);
+    co_return queue.status();
+  }
 
   for (int attempt = 0; attempt < opts.max_retries; ++attempt) {
     // RT1: probe for the slot and learn the old buffer address (§6.2: "one
     // indirect READ to identify the correct hash table slot").
     ProbeOutcome probe = co_await Probe(key_ptr, /*for_write=*/true);
-    if (!probe.status.ok()) co_return probe.status;
+    if (!probe.status.ok()) {
+      // Every earlier attempt saw its install CAS fail: nothing installed.
+      if (history_ != nullptr) history_->End(hid, check::Outcome::kFailed);
+      co_return probe.status;
+    }
 
     // RT2: the §3.5 chain — WRITE bound to scratch, ALLOCATE+redirect the
     // record, CAS-install ⟨ptr,bound⟩ iff the old pointer is unchanged.
@@ -252,10 +292,18 @@ sim::Task<Status> PrismKvClient::Put(const std::string& key, Bytes value) {
 
     auto r = co_await prism_.Execute(&server_->prism(), std::move(chain));
     round_trips_++;
-    if (!r.ok()) co_return r.status();
+    if (!r.ok()) {
+      // The chain was sent but its response never came back: the install
+      // CAS may or may not have landed.
+      if (history_ != nullptr) {
+        history_->End(hid, check::Outcome::kIndeterminate);
+      }
+      co_return r.status();
+    }
     const core::OpResult& alloc = (*r)[1];
     const core::OpResult& cas = (*r)[2];
     if (!alloc.executed || !alloc.status.ok()) {
+      if (history_ != nullptr) history_->End(hid, check::Outcome::kFailed);
       co_return alloc.executed ? alloc.status
                                : FailedPrecondition("allocate skipped");
     }
@@ -270,6 +318,7 @@ sim::Task<Status> PrismKvClient::Put(const std::string& key, Bytes value) {
           reclaim_.Free(*old_queue, probe.old_ptr);
         }
       }
+      if (history_ != nullptr) history_->End(hid, check::Outcome::kOk);
       co_return OkStatus();
     }
     // Lost the race: a concurrent writer changed the slot after our probe.
@@ -277,16 +326,37 @@ sim::Task<Status> PrismKvClient::Put(const std::string& key, Bytes value) {
     cas_failures_++;
     reclaim_.Free(*queue, alloc.resolved_addr);
   }
+  // Every CAS response came back unswapped: the value was never installed.
+  if (history_ != nullptr) history_->End(hid, check::Outcome::kFailed);
   co_return Aborted("put lost too many CAS races");
 }
 
 sim::Task<Status> PrismKvClient::Delete(const std::string& key) {
   const PrismKvOptions& opts = server_->options();
   auto key_ptr = std::make_shared<const Bytes>(BytesOfString(key));
+  size_t hid = 0;
+  if (history_ != nullptr) {
+    hid = history_->Begin(history_client_, check::IdOf(*key_ptr),
+                          check::OpType::kWrite, check::kAbsent);
+  }
   for (int attempt = 0; attempt < opts.max_retries; ++attempt) {
     ProbeOutcome probe = co_await Probe(key_ptr, /*for_write=*/false);
-    if (!probe.status.ok()) co_return probe.status;
-    if (!probe.found_key) co_return NotFound("key not present");
+    if (!probe.status.ok()) {
+      if (history_ != nullptr) {
+        if (probe.status.code() == Code::kNotFound) {
+          history_->EndAsRead(hid, check::Outcome::kOk, check::kAbsent);
+        } else {
+          history_->End(hid, check::Outcome::kFailed);
+        }
+      }
+      co_return probe.status;
+    }
+    if (!probe.found_key) {
+      if (history_ != nullptr) {
+        history_->EndAsRead(hid, check::Outcome::kOk, check::kAbsent);
+      }
+      co_return NotFound("key not present");
+    }
     // CAS the slot to the tombstone marker iff the pointer is still ours.
     Op cas = Op::CompareSwapCas(
         server_->rkey(), server_->slot_addr(probe.bucket),
@@ -297,17 +367,25 @@ sim::Task<Status> PrismKvClient::Delete(const std::string& key) {
         /*swap_mask=*/FieldMask(16, 0, 16));
     auto r = co_await prism_.ExecuteOne(&server_->prism(), std::move(cas));
     round_trips_++;
-    if (!r.ok()) co_return r.status();
+    if (!r.ok()) {
+      // The tombstone CAS may have landed without us seeing the response.
+      if (history_ != nullptr) {
+        history_->End(hid, check::Outcome::kIndeterminate);
+      }
+      co_return r.status();
+    }
     if (r->cas_swapped) {
       const uint64_t old_bound = LoadU64(r->data.data() + 8);
       auto old_queue = server_->QueueForRecord(old_bound);
       if (old_queue.ok()) {
         reclaim_.Free(*old_queue, probe.old_ptr);
       }
+      if (history_ != nullptr) history_->End(hid, check::Outcome::kOk);
       co_return OkStatus();
     }
     cas_failures_++;  // concurrent update; re-probe
   }
+  if (history_ != nullptr) history_->End(hid, check::Outcome::kFailed);
   co_return Aborted("delete lost too many CAS races");
 }
 

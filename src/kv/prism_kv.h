@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "src/check/history.h"
 #include "src/net/fabric.h"
 #include "src/prism/reclaim.h"
 #include "src/prism/service.h"
@@ -123,6 +124,13 @@ class PrismKvClient {
   // Ships any batched reclamation notifications.
   void FlushReclaim() { reclaim_.Flush(); }
 
+  // When set, every Get/Put/Delete records an invocation/response entry
+  // (keyed by the key's fingerprint) for offline linearizability checking.
+  void set_history(check::HistoryRecorder* history, int client_id) {
+    history_ = history;
+    history_client_ = client_id;
+  }
+
   // ---- stats ----
   uint64_t round_trips() const { return round_trips_; }
   uint64_t cas_failures() const { return cas_failures_; }
@@ -151,6 +159,8 @@ class PrismKvClient {
   core::PrismClient prism_;
   core::ReclaimClient reclaim_;
   rdma::Addr scratch_;  // 16 B of on-NIC scratch: [new_ptr | new_bound]
+  check::HistoryRecorder* history_ = nullptr;
+  int history_client_ = 0;
 
   uint64_t round_trips_ = 0;
   uint64_t cas_failures_ = 0;

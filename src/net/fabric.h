@@ -21,6 +21,7 @@
 #include <memory>
 #include <string>
 #include <type_traits>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -41,6 +42,11 @@ class Fabric {
   sim::Simulator* simulator() const { return sim_; }
   const CostModel& cost() const { return model_; }
 
+  // Fault injection (chaos schedules): changes apply to messages sent after
+  // the mutation; frames already on the wire keep the costs they were
+  // charged at send time.
+  CostModel& mutable_cost() { return model_; }
+
   HostId AddHost(std::string name) {
     HostId id = static_cast<HostId>(hosts_.size());
     hosts_.push_back(std::make_unique<Host>(Host{
@@ -56,9 +62,34 @@ class Fabric {
   // The host's dedicated CPU core pool (RPC handlers, software PRISM).
   sim::ServiceQueue& Cores(HostId id) { return *At(id).cores; }
 
-  // Failure injection: messages to/from a down host are dropped.
-  void SetHostUp(HostId id, bool up) { At(id).up = up; }
+  // Failure injection: messages to/from a down host are dropped. Taking a
+  // host down starts a new *incarnation* (epoch): frames already in flight
+  // toward it — and any retransmit chains targeting it — are purged even if
+  // the host restarts before their delivery time, so a crashed host never
+  // receives traffic addressed to its previous life.
+  void SetHostUp(HostId id, bool up) {
+    Host& h = At(id);
+    if (h.up && !up) ++h.epoch;
+    h.up = up;
+  }
   bool IsHostUp(HostId id) const { return At(id).up; }
+  uint32_t HostEpoch(HostId id) const { return At(id).epoch; }
+
+  // Directed partition: while blocked, frames src→dst vanish on the wire
+  // (the transport retransmits until exhaustion, then reports a drop).
+  // Asymmetric partitions block one direction only.
+  void SetLinkBlocked(HostId src, HostId dst, bool blocked) {
+    const uint64_t key = LinkKey(src, dst);
+    if (blocked) {
+      blocked_links_.insert(key);
+    } else {
+      blocked_links_.erase(key);
+    }
+  }
+  bool IsLinkBlocked(HostId src, HostId dst) const {
+    return !blocked_links_.empty() &&
+           blocked_links_.count(LinkKey(src, dst)) > 0;
+  }
 
   // Sends a `payload_bytes` message from src to dst. Exactly one of the two
   // callbacks fires: on_delivery when the last byte is received (after any
@@ -78,7 +109,8 @@ class Fabric {
                     /*attempt=*/0)) {
       auto pending = std::make_unique<PendingSend>(
           PendingSend{src, dst, payload_bytes, std::move(on_delivery),
-                      std::move(on_dropped), /*attempt=*/0});
+                      std::move(on_dropped), /*attempt=*/0,
+                      At(dst).epoch});
       ScheduleRetransmit(std::move(pending));
     }
   }
@@ -97,7 +129,12 @@ class Fabric {
     std::function<void()> on_delivery;
     std::function<void()> on_dropped;
     int attempt;
+    uint32_t dst_epoch;  // incarnation targeted when the send was issued
   };
+
+  static uint64_t LinkKey(HostId src, HostId dst) {
+    return (static_cast<uint64_t>(src) << 32) | dst;
+  }
 
   // True when `f` is an invocable callback: not nullptr, and not an empty
   // std::function (bool-testable callables are tested; plain lambdas are
@@ -127,6 +164,23 @@ class Fabric {
       dropped_messages_++;
       return true;
     }
+    // A blocked (partitioned) link swallows every frame on the wire: the
+    // transport keeps retransmitting until exhaustion, then reports a drop —
+    // exactly the failure signature of a real partition.
+    if (IsLinkBlocked(src, dst)) {
+      partitioned_messages_++;
+      if (attempt >= model_.max_retransmits) {
+        if constexpr (kHasDropped) {
+          if (HasCallback(on_dropped)) {
+            sim_->Schedule(0, std::move(on_dropped));
+          }
+        }
+        dropped_messages_++;
+        return true;
+      }
+      retransmissions_++;
+      return false;
+    }
     total_messages_++;
     total_wire_bytes_ += model_.WireBytes(payload_bytes);
     // Wire loss: the transport retransmits after a timeout (the §4.2
@@ -147,8 +201,12 @@ class Fabric {
       retransmissions_++;
       return false;
     }
+    const uint32_t dst_epoch = At(dst).epoch;
     if (src == dst) {
-      sim_->Schedule(sim::Nanos(200), std::move(on_delivery));
+      sim_->Schedule(sim::Nanos(200),
+                     [this, dst, dst_epoch, cb = std::move(on_delivery)]() {
+                       DeliverIfAlive(dst, dst_epoch, cb);
+                     });
       return true;
     }
     const sim::Duration ser = model_.SerializationDelay(payload_bytes);
@@ -161,11 +219,25 @@ class Fabric {
     const sim::TimePoint ready =
         std::max(arrival, d.ingress_free + ser);
     d.ingress_free = ready;
-    sim_->ScheduleAt(ready, [this, dst, cb = std::move(on_delivery)]() {
-      // A host that died while the message was in flight still drops it.
-      if (At(dst).up) cb();
-    });
+    sim_->ScheduleAt(ready,
+                     [this, dst, dst_epoch, cb = std::move(on_delivery)]() {
+                       DeliverIfAlive(dst, dst_epoch, cb);
+                     });
     return true;
+  }
+
+  // A frame reaching its delivery time is handed up only if the destination
+  // is alive *and* still the incarnation it was addressed to. A host that
+  // died while the message was in flight drops it — even if it has since
+  // restarted (the new incarnation never saw the message).
+  template <typename Delivery>
+  void DeliverIfAlive(HostId dst, uint32_t dst_epoch, Delivery& cb) {
+    const Host& d = At(dst);
+    if (d.up && d.epoch == dst_epoch) {
+      cb();
+    } else {
+      purged_messages_++;
+    }
   }
 
   void ScheduleRetransmit(std::unique_ptr<PendingSend> pending) {
@@ -174,6 +246,15 @@ class Fabric {
   }
 
   void Retry(std::unique_ptr<PendingSend> p) {
+    // Tear down retransmit state targeting a dead incarnation: if the
+    // destination crashed since the send was issued (even if it has since
+    // restarted), the chain stops and the drop verdict fires.
+    if (At(p->dst).epoch != p->dst_epoch) {
+      purged_messages_++;
+      dropped_messages_++;
+      if (p->on_dropped) sim_->Schedule(0, std::move(p->on_dropped));
+      return;
+    }
     ++p->attempt;
     if (!TryAttempt(p->src, p->dst, p->payload_bytes, p->on_delivery,
                     p->on_dropped, p->attempt)) {
@@ -189,12 +270,16 @@ class Fabric {
   uint64_t lost_messages() const { return lost_messages_; }
   uint64_t retransmissions() const { return retransmissions_; }
   uint64_t total_wire_bytes() const { return total_wire_bytes_; }
+  uint64_t purged_messages() const { return purged_messages_; }
+  uint64_t partitioned_messages() const { return partitioned_messages_; }
   void ResetStats() {
     total_messages_ = 0;
     dropped_messages_ = 0;
     lost_messages_ = 0;
     retransmissions_ = 0;
     total_wire_bytes_ = 0;
+    purged_messages_ = 0;
+    partitioned_messages_ = 0;
   }
 
  private:
@@ -204,6 +289,7 @@ class Fabric {
     sim::TimePoint egress_free = 0;
     sim::TimePoint ingress_free = 0;
     bool up = true;
+    uint32_t epoch = 0;  // bumped on crash; identifies the incarnation
   };
 
   Host& At(HostId id) {
@@ -219,11 +305,14 @@ class Fabric {
   CostModel model_;
   Rng loss_rng_;
   std::vector<std::unique_ptr<Host>> hosts_;
+  std::unordered_set<uint64_t> blocked_links_;  // directed src→dst pairs
   uint64_t total_messages_ = 0;
   uint64_t dropped_messages_ = 0;
   uint64_t lost_messages_ = 0;
   uint64_t retransmissions_ = 0;
   uint64_t total_wire_bytes_ = 0;
+  uint64_t purged_messages_ = 0;
+  uint64_t partitioned_messages_ = 0;
 };
 
 }  // namespace prism::net

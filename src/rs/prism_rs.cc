@@ -39,6 +39,18 @@ PrismRsReplica::PrismRsReplica(net::Fabric* fabric, net::HostId host,
   }
 }
 
+void PrismRsReplica::WipeState() {
+  const uint64_t meta_bytes = opts_.n_blocks * meta_stride();
+  const rdma::Addr initial_buf = meta_base_ + meta_bytes;
+  for (uint64_t b = 0; b < opts_.n_blocks; ++b) {
+    mem_->StoreWord(meta_addr(b), 0);                // tag
+    mem_->StoreWord(meta_addr(b) + 8, initial_buf);  // addr / ptr
+    if (opts_.variable_block_size) {
+      mem_->StoreWord(meta_addr(b) + 16, 8 + opts_.block_size);  // bound
+    }
+  }
+}
+
 PrismRsCluster::PrismRsCluster(net::Fabric* fabric, int n_replicas,
                                PrismRsOptions opts)
     : opts_(opts) {
@@ -226,40 +238,76 @@ sim::Task<Status> PrismRsClient::WritePhase(
 }
 
 sim::Task<Result<Bytes>> PrismRsClient::Get(uint64_t block, Tag* out_tag) {
+  size_t hid = 0;
+  if (history_ != nullptr) {
+    hid = history_->Begin(client_id_, block, check::OpType::kRead);
+  }
   ReadPhaseResult read = co_await ReadPhase(block);
-  if (!read.status.ok()) co_return read.status;
+  if (!read.status.ok()) {
+    // A failed GET returned nothing: it constrains no history.
+    if (history_ != nullptr) history_->End(hid, check::Outcome::kFailed);
+    co_return read.status;
+  }
   if (cluster_->options().skip_unanimous_writeback && read.unanimous) {
     // The quorum itself witnessed the tag at f+1 replicas: the write-back
     // would be a no-op, so the GET completes in one round.
     writebacks_skipped_++;
     if (out_tag != nullptr) *out_tag = read.max_tag;
+    if (history_ != nullptr) {
+      history_->End(hid, check::Outcome::kOk, check::IdOf(read.max_value));
+    }
     co_return std::move(read.max_value);
   }
   // Write-back phase: ensure f+1 replicas are at least as new as what we
   // are about to return (required for linearizability).
   auto value = std::make_shared<const Bytes>(read.max_value);
   Status wb = co_await WritePhase(block, read.max_tag, value);
-  if (!wb.ok()) co_return wb;
+  if (!wb.ok()) {
+    if (history_ != nullptr) history_->End(hid, check::Outcome::kFailed);
+    co_return wb;
+  }
   if (out_tag != nullptr) *out_tag = read.max_tag;
+  if (history_ != nullptr) {
+    history_->End(hid, check::Outcome::kOk, check::IdOf(read.max_value));
+  }
   co_return std::move(read.max_value);
 }
 
 sim::Task<Status> PrismRsClient::Put(uint64_t block, Bytes value,
                                      Tag* out_tag) {
+  size_t hid = 0;
+  if (history_ != nullptr) {
+    hid = history_->Begin(client_id_, block, check::OpType::kWrite,
+                          check::IdOf(value));
+  }
   if (cluster_->options().variable_block_size) {
     if (value.size() > cluster_->options().block_size) {
+      if (history_ != nullptr) history_->End(hid, check::Outcome::kFailed);
       co_return InvalidArgument("value exceeds maximum block size");
     }
   } else if (value.size() != cluster_->options().block_size) {
+    if (history_ != nullptr) history_->End(hid, check::Outcome::kFailed);
     co_return InvalidArgument("value must be exactly block_size");
   }
   ReadPhaseResult read = co_await ReadPhase(block);
-  if (!read.status.ok()) co_return read.status;
+  if (!read.status.ok()) {
+    // The write phase never started: the value was definitely not installed.
+    if (history_ != nullptr) history_->End(hid, check::Outcome::kFailed);
+    co_return read.status;
+  }
   Tag tag{read.max_tag.ts + 1, client_id_};
   auto value_ptr = std::make_shared<const Bytes>(std::move(value));
   Status st = co_await WritePhase(block, tag, value_ptr);
-  if (!st.ok()) co_return st;
+  if (!st.ok()) {
+    // No quorum, but some replicas may have installed the value: a later
+    // read may legally observe it (or not) — indeterminate.
+    if (history_ != nullptr) {
+      history_->End(hid, check::Outcome::kIndeterminate);
+    }
+    co_return st;
+  }
   if (out_tag != nullptr) *out_tag = tag;
+  if (history_ != nullptr) history_->End(hid, check::Outcome::kOk);
   co_return OkStatus();
 }
 

@@ -29,6 +29,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/check/history.h"
 #include "src/net/fabric.h"
 #include "src/prism/reclaim.h"
 #include "src/prism/service.h"
@@ -92,6 +93,12 @@ class PrismRsReplica {
     return meta_base_ + block * meta_stride();
   }
 
+  // Crash amnesia: resets every metadata element to its zero-state, as if
+  // the replica's DRAM did not survive a restart. ABD assumes replica state
+  // outlives crashes, so a quorum of wiped replicas loses writes — chaos
+  // tests use this to prove the checker notices.
+  void WipeState();
+
  private:
   PrismRsOptions opts_;
   std::unique_ptr<rdma::AddressSpace> mem_;
@@ -129,6 +136,10 @@ class PrismRsClient {
 
   void FlushReclaim();
 
+  // When set, every Get/Put records an invocation/response entry (keyed by
+  // block) for offline linearizability checking.
+  void set_history(check::HistoryRecorder* history) { history_ = history; }
+
   uint64_t round_trips() const { return round_trips_; }
   uint64_t writebacks_skipped() const { return writebacks_skipped_; }
 
@@ -148,6 +159,7 @@ class PrismRsClient {
   PrismRsCluster* cluster_;
   core::PrismClient prism_;
   uint16_t client_id_;
+  check::HistoryRecorder* history_ = nullptr;
   std::vector<rdma::Addr> scratch_;  // 16 B per replica: [tag' | addr']
   std::vector<std::unique_ptr<core::ReclaimClient>> reclaim_;
   uint64_t round_trips_ = 0;

@@ -124,12 +124,16 @@ sim::Task<Result<Bytes>> PrismTxClient::Read(Transaction& txn, uint64_t key) {
                                    read_len));
   auto r = co_await prism_.Execute(&shard.prism(), std::move(chain));
   if (!r.ok()) co_return r.status();
+  const bool record = history_ != nullptr &&
+                      txn.history_id != Transaction::kNoHistory;
   const core::OpResult& meta = (*r)[0];
   const core::OpResult& buf = (*r)[1];
   if (!meta.status.ok() || !buf.status.ok()) {
+    if (record) history_->RecordRead(txn.history_id, key, check::kAbsent);
     co_return NotFound("key not loaded");
   }
   if (buf.data.size() < 16 || LoadU64(buf.data.data() + 8) != key) {
+    if (record) history_->RecordRead(txn.history_id, key, check::kAbsent);
     co_return NotFound("slot holds a different key");
   }
   const uint64_t slot_c = LoadU64(meta.data.data());
@@ -138,7 +142,9 @@ sim::Task<Result<Bytes>> PrismTxClient::Read(Transaction& txn, uint64_t key) {
   logical_clock_ =
       std::max(logical_clock_, Timestamp::FromPacked(rc).time);
   txn.read_set.push_back({key, rc});
-  co_return Bytes(buf.data.begin() + 16, buf.data.end());
+  Bytes value(buf.data.begin() + 16, buf.data.end());
+  if (record) history_->RecordRead(txn.history_id, key, check::IdOf(value));
+  co_return std::move(value);
 }
 
 void PrismTxClient::Write(Transaction& txn, uint64_t key, Bytes value) {
@@ -184,8 +190,16 @@ sim::Task<Status> PrismTxClient::AbortCleanup(
 sim::Task<Status> PrismTxClient::Commit(Transaction& txn) {
   PRISM_CHECK(txn.active);
   txn.active = false;
+  const bool record = history_ != nullptr &&
+                      txn.history_id != Transaction::kNoHistory;
+  if (record) {
+    for (const auto& w : txn.write_set) {
+      history_->RecordWrite(txn.history_id, w.key, check::IdOf(w.value));
+    }
+  }
   if (txn.write_set.empty() && txn.read_set.empty()) {
     commits_++;
+    if (record) history_->EndTxn(txn.history_id, check::TxOutcome::kCommitted);
     co_return OkStatus();
   }
 
@@ -251,6 +265,8 @@ sim::Task<Status> PrismTxClient::Commit(Transaction& txn) {
     co_await quorum->Wait();
     if (!*ok_flag) {
       aborts_++;
+      // Validation failure precedes any install: no write is visible.
+      if (record) history_->EndTxn(txn.history_id, check::TxOutcome::kAborted);
       co_return Aborted("read validation failed");
     }
   }
@@ -316,6 +332,8 @@ sim::Task<Status> PrismTxClient::Commit(Transaction& txn) {
   if (!all_valid) {
     aborts_++;
     co_await AbortCleanup(*preps, ts);
+    // PR/PW/C bumps never expose a value: no write is visible.
+    if (record) history_->EndTxn(txn.history_id, check::TxOutcome::kAborted);
     co_return Aborted("write validation failed");
   }
 
@@ -395,10 +413,16 @@ sim::Task<Status> PrismTxClient::Commit(Transaction& txn) {
     co_await quorum->Wait();
     if (!*ok_flag) {
       aborts_++;
+      // Some install chains may have landed before the failure: the writes
+      // are possibly (partially) visible.
+      if (record) {
+        history_->EndTxn(txn.history_id, check::TxOutcome::kIndeterminate);
+      }
       co_return Aborted("commit install failed");
     }
   }
   commits_++;
+  if (record) history_->EndTxn(txn.history_id, check::TxOutcome::kCommitted);
   co_return OkStatus();
 }
 

@@ -39,6 +39,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/check/history.h"
 #include "src/net/fabric.h"
 #include "src/prism/reclaim.h"
 #include "src/prism/service.h"
@@ -129,6 +130,10 @@ class Transaction {
   std::vector<ReadEntry> read_set;
   std::vector<WriteEntry> write_set;
   bool active = true;
+
+  // History-recording handle (see PrismTxClient::set_history).
+  static constexpr size_t kNoHistory = static_cast<size_t>(-1);
+  size_t history_id = kNoHistory;
 };
 
 class PrismTxClient {
@@ -136,7 +141,15 @@ class PrismTxClient {
   PrismTxClient(net::Fabric* fabric, net::HostId self,
                 PrismTxCluster* cluster, uint16_t client_id);
 
-  Transaction Begin() { return Transaction{}; }
+  Transaction Begin() {
+    Transaction txn;
+    if (history_ != nullptr) txn.history_id = history_->BeginTxn(client_id_);
+    return txn;
+  }
+
+  // When set, every transaction records its remote reads, writes, and
+  // outcome for offline read-committed checking.
+  void set_history(check::TxHistoryRecorder* history) { history_ = history; }
 
   // Transactional read: fetches the committed version and records it in the
   // read set. kNotFound for never-loaded keys.
@@ -168,6 +181,7 @@ class PrismTxClient {
   PrismTxCluster* cluster_;
   core::PrismClient prism_;
   uint16_t client_id_;
+  check::TxHistoryRecorder* history_ = nullptr;
   uint64_t logical_clock_ = 1;
   // Per-shard scratch: kScratchSlots × 16 B so a commit's parallel install
   // chains (one per write key on the shard) never share a redirect target.

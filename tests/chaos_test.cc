@@ -1,0 +1,636 @@
+// Deterministic chaos sweeps: PRISM-RS / PRISM-KV / PRISM-TX driven by a
+// seeded ChaosMonkey (crash/restart, asymmetric partitions, loss bursts,
+// latency spikes) while every client op is recorded into a history that the
+// offline checkers (src/check) validate — linearizability for the register
+// stores, read-committed for transactions. Any violating seed is printed
+// with its expanded fault schedule and a replay command line:
+//
+//     chaos_test --seed=N --gtest_filter=ChaosSweep.*
+//
+// The binary has a custom main() for exactly that flag; everything else is
+// standard gtest. Also here: negative tests proving the checkers *reject*
+// bad histories (a checker that accepts everything would pass any sweep),
+// and a crash-amnesia test proving the linearizability checker notices when
+// a wiped quorum loses an acknowledged write.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/chaos/chaos.h"
+#include "src/check/checker.h"
+#include "src/check/history.h"
+#include "src/common/rng.h"
+#include "src/kv/prism_kv.h"
+#include "src/rs/prism_rs.h"
+#include "src/sim/task.h"
+#include "src/tx/prism_tx.h"
+
+namespace prism {
+
+// Set by --seed=N on the command line (see main below): replay exactly one
+// chaos seed instead of sweeping.
+int64_t g_replay_seed = -1;
+
+namespace {
+
+using sim::Task;
+
+std::vector<uint64_t> SweepSeeds() {
+  if (g_replay_seed >= 0) return {static_cast<uint64_t>(g_replay_seed)};
+  std::vector<uint64_t> seeds;
+  for (uint64_t s = 1; s <= 100; ++s) seeds.push_back(s);
+  return seeds;
+}
+
+// Globally unique value: encodes (seed, client, op) so fingerprint equality
+// is value equality across the whole sweep. Requires size >= 11.
+Bytes UniqueValue(size_t size, uint64_t seed, int client, int op) {
+  Bytes v(size, 0);
+  for (int i = 0; i < 8; ++i) v[i] = static_cast<uint8_t>(seed >> (8 * i));
+  v[8] = static_cast<uint8_t>(client);
+  v[9] = static_cast<uint8_t>(op);
+  v[10] = static_cast<uint8_t>(op >> 8);
+  return v;
+}
+
+struct SeedRun {
+  bool hang = false;        // coroutines still live after the sim drained
+  check::CheckResult check;
+  std::string schedule;     // ChaosMonkey::Describe() for the log
+  int faults = 0;           // total fault events injected
+};
+
+std::string ReplayBanner(const char* test, uint64_t seed, const SeedRun& r) {
+  std::ostringstream os;
+  os << "chaos seed " << seed << " — replay with:\n    chaos_test --seed="
+     << seed << " --gtest_filter=ChaosSweep." << test << "\n"
+     << r.schedule;
+  return os.str();
+}
+
+int InjectedFaults(const chaos::ChaosMonkey& m) {
+  return m.crashes_injected() + m.partitions_injected() +
+         m.loss_bursts_injected() + m.latency_spikes_injected();
+}
+
+// ---- PRISM-RS under chaos ----
+//
+// 3 replicas (f = 1); the monkey crashes at most one at a time and never
+// wipes memory, matching ABD's fault model. Clients keep issuing Get/Put —
+// ops may fail or time out while a quorum is unreachable, but every
+// response that IS produced must fit some linearization.
+SeedRun RunRsSeed(uint64_t seed) {
+  constexpr uint64_t kBlocks = 4;
+  constexpr uint64_t kBlockSize = 64;
+  constexpr int kClients = 3;
+  constexpr int kOpsPerClient = 10;
+
+  sim::Simulator sim;
+  net::Fabric fabric(&sim, net::CostModel::EvalCluster40G(),
+                     /*loss_seed=*/seed);
+  rs::PrismRsOptions opts;
+  opts.n_blocks = kBlocks;
+  opts.block_size = kBlockSize;
+  opts.buffers_per_replica = 512;
+  rs::PrismRsCluster cluster(&fabric, 3, opts);  // replica hosts 0..2
+
+  check::HistoryRecorder history(&sim);
+  std::vector<net::HostId> client_hosts;
+  std::vector<std::unique_ptr<rs::PrismRsClient>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    client_hosts.push_back(fabric.AddHost("client" + std::to_string(c)));
+    clients.push_back(std::make_unique<rs::PrismRsClient>(
+        &fabric, client_hosts[c], &cluster,
+        static_cast<uint16_t>(c + 1)));
+    clients[c]->set_history(&history);
+  }
+
+  chaos::ChaosOptions copts;
+  copts.seed = seed;
+  copts.crashable = {0, 1, 2};
+  copts.max_concurrent_crashes = 1;  // = f: quorums stay live
+  copts.partition_hosts = {0, 1, 2};
+  for (net::HostId h : client_hosts) copts.partition_hosts.push_back(h);
+  chaos::ChaosMonkey monkey(&fabric, copts);
+  monkey.Arm();
+
+  sim::TaskTracker tracker;
+  for (int c = 0; c < kClients; ++c) {
+    sim::Spawn(
+        [&, c]() -> Task<void> {
+          Rng rng(seed * 977 + c);
+          for (int i = 0; i < kOpsPerClient; ++i) {
+            uint64_t block = rng.NextBelow(kBlocks);
+            if (rng.NextBool(0.5)) {
+              (void)co_await clients[c]->Put(
+                  block, UniqueValue(kBlockSize, seed, c, i));
+            } else {
+              (void)co_await clients[c]->Get(block);
+            }
+            co_await sim::SleepFor(
+                &sim, sim::Micros(rng.NextInRange(100, 600)));
+          }
+        },
+        &tracker);
+  }
+  sim.Run();
+
+  SeedRun r;
+  r.hang = tracker.live() > 0;
+  r.schedule = monkey.Describe();
+  r.faults = InjectedFaults(monkey);
+  r.check = check::CheckLinearizable(history.ops(),
+                                     check::IdOf(Bytes(kBlockSize, 0)));
+  return r;
+}
+
+// ---- PRISM-KV under chaos ----
+//
+// Single server that crash/restarts (durable DRAM), plus partitions and
+// wire trouble between it and the clients.
+SeedRun RunKvSeed(uint64_t seed) {
+  constexpr uint64_t kKeys = 4;
+  constexpr size_t kValueSize = 32;
+  constexpr int kClients = 3;
+  constexpr int kOpsPerClient = 12;
+
+  sim::Simulator sim;
+  net::Fabric fabric(&sim, net::CostModel::EvalCluster40G(),
+                     /*loss_seed=*/seed);
+  net::HostId server_host = fabric.AddHost("server");  // host 0
+  kv::PrismKvOptions opts;
+  opts.n_buckets = 64;
+  opts.n_buffers = 256;
+  kv::PrismKvServer server(&fabric, server_host, opts);
+
+  check::HistoryRecorder history(&sim);
+  std::vector<net::HostId> client_hosts;
+  std::vector<std::unique_ptr<kv::PrismKvClient>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    client_hosts.push_back(fabric.AddHost("client" + std::to_string(c)));
+    clients.push_back(std::make_unique<kv::PrismKvClient>(
+        &fabric, client_hosts[c], &server));
+    clients[c]->set_history(&history, c + 1);
+  }
+
+  chaos::ChaosOptions copts;
+  copts.seed = seed;
+  copts.crashable = {server_host};
+  copts.partition_hosts = {server_host};
+  for (net::HostId h : client_hosts) copts.partition_hosts.push_back(h);
+  chaos::ChaosMonkey monkey(&fabric, copts);
+  monkey.Arm();
+
+  sim::TaskTracker tracker;
+  for (int c = 0; c < kClients; ++c) {
+    sim::Spawn(
+        [&, c]() -> Task<void> {
+          Rng rng(seed * 977 + c);
+          for (int i = 0; i < kOpsPerClient; ++i) {
+            std::string key =
+                "key-" + std::to_string(rng.NextBelow(kKeys));
+            const double dice = rng.NextDouble();
+            if (dice < 0.45) {
+              (void)co_await clients[c]->Put(
+                  key, UniqueValue(kValueSize, seed, c, i));
+            } else if (dice < 0.85) {
+              (void)co_await clients[c]->Get(key);
+            } else {
+              (void)co_await clients[c]->Delete(key);
+            }
+            co_await sim::SleepFor(
+                &sim, sim::Micros(rng.NextInRange(100, 600)));
+          }
+        },
+        &tracker);
+  }
+  sim.Run();
+
+  SeedRun r;
+  r.hang = tracker.live() > 0;
+  r.schedule = monkey.Describe();
+  r.faults = InjectedFaults(monkey);
+  r.check = check::CheckLinearizable(history.ops(), check::kAbsent);
+  return r;
+}
+
+// ---- PRISM-TX under chaos ----
+//
+// Two shards, durable crash/restart. Transactions that straddle a fault
+// abort or time out; every read a transaction DID observe must be
+// explainable by a committed (or indeterminately-committed) write.
+SeedRun RunTxSeed(uint64_t seed) {
+  constexpr uint64_t kKeys = 8;
+  constexpr size_t kValueSize = 32;
+  constexpr int kClients = 3;
+  constexpr int kTxPerClient = 8;
+
+  sim::Simulator sim;
+  net::Fabric fabric(&sim, net::CostModel::EvalCluster40G(),
+                     /*loss_seed=*/seed);
+  tx::PrismTxOptions opts;
+  opts.keys_per_shard = 16;
+  opts.value_size = kValueSize;
+  opts.buffers_per_shard = 256;
+  tx::PrismTxCluster cluster(&fabric, 2, opts);  // shard hosts 0..1
+
+  std::vector<std::pair<uint64_t, check::ValueId>> initial;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    Bytes v(kValueSize, 0);
+    v[0] = static_cast<uint8_t>(0xB0 + k);  // distinct, nonzero values
+    EXPECT_TRUE(cluster.LoadKey(k, v).ok());
+    initial.emplace_back(k, check::IdOf(v));
+  }
+
+  check::TxHistoryRecorder history(&sim);
+  std::vector<net::HostId> client_hosts;
+  std::vector<std::unique_ptr<tx::PrismTxClient>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    client_hosts.push_back(fabric.AddHost("client" + std::to_string(c)));
+    clients.push_back(std::make_unique<tx::PrismTxClient>(
+        &fabric, client_hosts[c], &cluster,
+        static_cast<uint16_t>(c + 1)));
+    clients[c]->set_history(&history);
+  }
+
+  chaos::ChaosOptions copts;
+  copts.seed = seed;
+  copts.crashable = {0, 1};
+  copts.max_concurrent_crashes = 1;
+  copts.partition_hosts = {0, 1};
+  for (net::HostId h : client_hosts) copts.partition_hosts.push_back(h);
+  chaos::ChaosMonkey monkey(&fabric, copts);
+  monkey.Arm();
+
+  sim::TaskTracker tracker;
+  for (int c = 0; c < kClients; ++c) {
+    sim::Spawn(
+        [&, c]() -> Task<void> {
+          Rng rng(seed * 977 + c);
+          for (int t = 0; t < kTxPerClient; ++t) {
+            tx::Transaction txn = clients[c]->Begin();
+            const uint64_t rk = rng.NextBelow(kKeys);
+            const uint64_t wk = rng.NextBelow(kKeys);
+            auto read = co_await clients[c]->Read(txn, rk);
+            (void)read;
+            // Writes are full-size: IndirectRead is unbounded in fixed
+            // mode, so a shorter value would expose stale tail bytes.
+            clients[c]->Write(txn, wk,
+                              UniqueValue(kValueSize, seed, c, t));
+            (void)co_await clients[c]->Commit(txn);
+            co_await sim::SleepFor(
+                &sim, sim::Micros(rng.NextInRange(100, 600)));
+          }
+        },
+        &tracker);
+  }
+  sim.Run();
+
+  SeedRun r;
+  r.hang = tracker.live() > 0;
+  r.schedule = monkey.Describe();
+  r.faults = InjectedFaults(monkey);
+  r.check = check::CheckReadCommitted(history.txns(), initial);
+  return r;
+}
+
+// ---- the sweeps ----
+
+TEST(ChaosSweep, PrismRsLinearizable) {
+  int total_faults = 0;
+  for (uint64_t seed : SweepSeeds()) {
+    SeedRun r = RunRsSeed(seed);
+    total_faults += r.faults;
+    EXPECT_FALSE(r.hang)
+        << "client coroutines hung\n"
+        << ReplayBanner("PrismRsLinearizable", seed, r);
+    EXPECT_TRUE(r.check.ok)
+        << ReplayBanner("PrismRsLinearizable", seed, r) << r.check.error;
+    if (r.hang || !r.check.ok) break;
+  }
+  // The sweep must actually exercise faults, not a quiet network.
+  if (g_replay_seed < 0) EXPECT_GT(total_faults, 100);
+}
+
+TEST(ChaosSweep, PrismKvLinearizable) {
+  int total_faults = 0;
+  for (uint64_t seed : SweepSeeds()) {
+    SeedRun r = RunKvSeed(seed);
+    total_faults += r.faults;
+    EXPECT_FALSE(r.hang)
+        << "client coroutines hung\n"
+        << ReplayBanner("PrismKvLinearizable", seed, r);
+    EXPECT_TRUE(r.check.ok)
+        << ReplayBanner("PrismKvLinearizable", seed, r) << r.check.error;
+    if (r.hang || !r.check.ok) break;
+  }
+  if (g_replay_seed < 0) EXPECT_GT(total_faults, 100);
+}
+
+TEST(ChaosSweep, PrismTxReadCommitted) {
+  int total_faults = 0;
+  for (uint64_t seed : SweepSeeds()) {
+    SeedRun r = RunTxSeed(seed);
+    total_faults += r.faults;
+    EXPECT_FALSE(r.hang)
+        << "client coroutines hung\n"
+        << ReplayBanner("PrismTxReadCommitted", seed, r);
+    EXPECT_TRUE(r.check.ok)
+        << ReplayBanner("PrismTxReadCommitted", seed, r) << r.check.error;
+    if (r.hang || !r.check.ok) break;
+  }
+  if (g_replay_seed < 0) EXPECT_GT(total_faults, 100);
+}
+
+// ---- crash amnesia: the checker must notice lost acknowledged writes ----
+//
+// ABD assumes replica memory survives restarts. Wipe all three replicas
+// between an acknowledged Put and a Get: the Get returns the initial zero
+// block, which no linearization can explain.
+TEST(ChaosAmnesiaTest, CheckerDetectsQuorumWipe) {
+  constexpr uint64_t kBlockSize = 64;
+  sim::Simulator sim;
+  net::Fabric fabric(&sim, net::CostModel::EvalCluster40G());
+  rs::PrismRsOptions opts;
+  opts.n_blocks = 1;
+  opts.block_size = kBlockSize;
+  opts.buffers_per_replica = 64;
+  rs::PrismRsCluster cluster(&fabric, 3, opts);
+  check::HistoryRecorder history(&sim);
+  net::HostId ch = fabric.AddHost("client");
+  rs::PrismRsClient client(&fabric, ch, &cluster, 1);
+  client.set_history(&history);
+
+  sim::TaskTracker tracker;
+  sim::Spawn(
+      [&]() -> Task<void> {
+        Bytes v = UniqueValue(kBlockSize, /*seed=*/7, /*client=*/1, 0);
+        Status put = co_await client.Put(0, std::move(v));
+        EXPECT_TRUE(put.ok());
+        for (int i = 0; i < 3; ++i) {
+          fabric.SetHostUp(i, false);
+          fabric.SetHostUp(i, true);
+          cluster.replica(i).WipeState();  // DRAM did not survive
+        }
+        // Advance time so the Get strictly follows the Put in real time
+        // (equal response/invoke instants count as concurrent).
+        co_await sim::SleepFor(&sim, sim::Micros(10));
+        auto got = co_await client.Get(0);
+        EXPECT_TRUE(got.ok());
+      },
+      &tracker);
+  sim.Run();
+  EXPECT_EQ(tracker.live(), 0u);
+
+  std::ostringstream ops;
+  for (const check::Op& op : history.ops()) ops << check::FormatOp(op) << "\n";
+  auto res = check::CheckLinearizable(history.ops(),
+                                      check::IdOf(Bytes(kBlockSize, 0)));
+  EXPECT_FALSE(res.ok) << "checker accepted a history with a lost write:\n"
+                       << ops.str();
+}
+
+// ---- negative checker tests ----
+//
+// A checker that accepts everything would pass every sweep; prove the
+// rejection paths work on hand-crafted histories.
+
+check::Op MakeOp(int client, uint64_t key, check::OpType type,
+                 check::ValueId value, sim::TimePoint invoke,
+                 sim::TimePoint response,
+                 check::Outcome outcome = check::Outcome::kOk) {
+  check::Op op;
+  op.client = client;
+  op.key = key;
+  op.type = type;
+  op.value = value;
+  op.invoke = invoke;
+  op.response = response;
+  op.outcome = outcome;
+  op.done = true;
+  return op;
+}
+
+constexpr check::ValueId kInit = 0x1111;
+constexpr check::ValueId kA = 0xAAAA;
+constexpr check::ValueId kB = 0xBBBB;
+using check::OpType;
+using check::Outcome;
+
+TEST(CheckerTest, AcceptsSequentialAndConcurrentHistory) {
+  std::vector<check::Op> h = {
+      MakeOp(1, 0, OpType::kWrite, kA, 0, 10),
+      MakeOp(2, 0, OpType::kRead, kA, 2, 12),    // concurrent: sees new
+      MakeOp(3, 0, OpType::kRead, kInit, 3, 13),  // concurrent: sees old
+      MakeOp(2, 0, OpType::kRead, kA, 20, 30),   // after: must see new
+  };
+  EXPECT_TRUE(check::CheckLinearizable(h, kInit).ok);
+}
+
+TEST(CheckerTest, RejectsStaleRead) {
+  std::vector<check::Op> h = {
+      MakeOp(1, 0, OpType::kWrite, kA, 0, 10),
+      MakeOp(2, 0, OpType::kRead, kInit, 20, 30),  // write done; stale read
+  };
+  auto res = check::CheckLinearizable(h, kInit);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("key=0"), std::string::npos) << res.error;
+}
+
+TEST(CheckerTest, RejectsValueRegression) {
+  // Two sequential writes, then reads observing them in reverse order.
+  std::vector<check::Op> h = {
+      MakeOp(1, 0, OpType::kWrite, kA, 0, 10),
+      MakeOp(1, 0, OpType::kWrite, kB, 20, 30),
+      MakeOp(2, 0, OpType::kRead, kB, 40, 50),
+      MakeOp(2, 0, OpType::kRead, kA, 60, 70),  // regressed
+  };
+  EXPECT_FALSE(check::CheckLinearizable(h, kInit).ok);
+}
+
+TEST(CheckerTest, FailedWriteMustNotBeObserved) {
+  std::vector<check::Op> h = {
+      MakeOp(1, 0, OpType::kWrite, kA, 0, 10, Outcome::kFailed),
+      MakeOp(2, 0, OpType::kRead, kA, 20, 30),
+  };
+  EXPECT_FALSE(check::CheckLinearizable(h, kInit).ok);
+}
+
+TEST(CheckerTest, IndeterminateWriteMayApplyOrNot) {
+  // Applied…
+  std::vector<check::Op> applied = {
+      MakeOp(1, 0, OpType::kWrite, kA, 0, 10, Outcome::kIndeterminate),
+      MakeOp(2, 0, OpType::kRead, kA, 20, 30),
+  };
+  EXPECT_TRUE(check::CheckLinearizable(applied, kInit).ok);
+  // …or dropped…
+  std::vector<check::Op> dropped = {
+      MakeOp(1, 0, OpType::kWrite, kA, 0, 10, Outcome::kIndeterminate),
+      MakeOp(2, 0, OpType::kRead, kInit, 20, 30),
+  };
+  EXPECT_TRUE(check::CheckLinearizable(dropped, kInit).ok);
+  // …but not both: once observed, the value cannot regress.
+  std::vector<check::Op> both = {
+      MakeOp(1, 0, OpType::kWrite, kA, 0, 10, Outcome::kIndeterminate),
+      MakeOp(2, 0, OpType::kRead, kA, 20, 30),
+      MakeOp(2, 0, OpType::kRead, kInit, 40, 50),
+  };
+  EXPECT_FALSE(check::CheckLinearizable(both, kInit).ok);
+}
+
+TEST(CheckerTest, KeysCheckIndependently) {
+  // Fine on key 0, broken on key 1 — the witness names key 1.
+  std::vector<check::Op> h = {
+      MakeOp(1, 0, OpType::kWrite, kA, 0, 10),
+      MakeOp(2, 0, OpType::kRead, kA, 20, 30),
+      MakeOp(1, 1, OpType::kWrite, kB, 0, 10),
+      MakeOp(2, 1, OpType::kRead, kInit, 20, 30),
+  };
+  auto res = check::CheckLinearizable(h, kInit);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.error.find("key=1"), std::string::npos) << res.error;
+}
+
+TEST(CheckerTest, RejectsOversizedKeyHistory) {
+  std::vector<check::Op> h;
+  for (size_t i = 0; i < check::kMaxOpsPerKey + 1; ++i) {
+    h.push_back(MakeOp(1, 0, OpType::kWrite, kA + i,
+                       sim::TimePoint(10 * i), sim::TimePoint(10 * i + 5)));
+  }
+  auto res = check::CheckLinearizable(h, kInit);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(CheckerTest, ReadCommittedRejectsAbortedRead) {
+  check::TxnRecord writer;
+  writer.client = 1;
+  writer.writes = {{5, kA}};
+  writer.outcome = check::TxOutcome::kAborted;
+  writer.begin = 0;
+  writer.end = 10;
+  writer.done = true;
+  check::TxnRecord reader;
+  reader.client = 2;
+  reader.reads = {{5, kA}};  // observed an aborted write
+  reader.outcome = check::TxOutcome::kCommitted;
+  reader.begin = 20;
+  reader.end = 30;
+  reader.done = true;
+  auto res = check::CheckReadCommitted({writer, reader}, {{5, kInit}});
+  EXPECT_FALSE(res.ok);
+
+  // The same read is fine if the writer committed — or might have.
+  writer.outcome = check::TxOutcome::kCommitted;
+  EXPECT_TRUE(check::CheckReadCommitted({writer, reader}, {{5, kInit}}).ok);
+  writer.outcome = check::TxOutcome::kIndeterminate;
+  EXPECT_TRUE(check::CheckReadCommitted({writer, reader}, {{5, kInit}}).ok);
+}
+
+TEST(CheckerTest, ReadCommittedRejectsPhantomValue) {
+  check::TxnRecord reader;
+  reader.client = 1;
+  reader.reads = {{5, kB}};  // nobody ever wrote kB
+  reader.outcome = check::TxOutcome::kCommitted;
+  reader.done = true;
+  EXPECT_FALSE(check::CheckReadCommitted({reader}, {{5, kInit}}).ok);
+  // Initial value and absence are always explainable.
+  reader.reads = {{5, kInit}};
+  EXPECT_TRUE(check::CheckReadCommitted({reader}, {{5, kInit}}).ok);
+  reader.reads = {{7, check::kAbsent}};
+  EXPECT_TRUE(check::CheckReadCommitted({reader}, {{5, kInit}}).ok);
+}
+
+// ---- chaos monkey unit tests ----
+
+TEST(ChaosMonkeyTest, ScheduleIsAPureFunctionOfOptions) {
+  sim::Simulator sim;
+  net::Fabric fabric(&sim, net::CostModel::EvalCluster40G());
+  net::HostId a = fabric.AddHost("a");
+  net::HostId b = fabric.AddHost("b");
+  chaos::ChaosOptions opts;
+  opts.seed = 42;
+  opts.crashable = {a, b};
+  opts.crash_count = 6;
+  opts.partition_hosts = {a, b};
+  chaos::ChaosMonkey m1(&fabric, opts);
+  chaos::ChaosMonkey m2(&fabric, opts);
+  ASSERT_EQ(m1.schedule().size(), m2.schedule().size());
+  for (size_t i = 0; i < m1.schedule().size(); ++i) {
+    const chaos::FaultEvent& e1 = m1.schedule()[i];
+    const chaos::FaultEvent& e2 = m2.schedule()[i];
+    EXPECT_EQ(e1.at, e2.at);
+    EXPECT_EQ(e1.kind, e2.kind);
+    EXPECT_EQ(e1.a, e2.a);
+    EXPECT_EQ(e1.b, e2.b);
+  }
+  opts.seed = 43;
+  chaos::ChaosMonkey m3(&fabric, opts);
+  bool differs = m3.schedule().size() != m1.schedule().size();
+  for (size_t i = 0; !differs && i < m1.schedule().size(); ++i) {
+    differs = m1.schedule()[i].at != m3.schedule()[i].at ||
+              m1.schedule()[i].kind != m3.schedule()[i].kind;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ChaosMonkeyTest, EveryFaultHealsByHorizonAndHooksFire) {
+  sim::Simulator sim;
+  net::Fabric fabric(&sim, net::CostModel::EvalCluster40G());
+  net::HostId a = fabric.AddHost("a");
+  net::HostId b = fabric.AddHost("b");
+  net::HostId c = fabric.AddHost("c");
+  const double base_loss = fabric.cost().loss_probability;
+  const sim::Duration base_prop = fabric.cost().propagation;
+
+  chaos::ChaosOptions opts;
+  opts.seed = 42;
+  opts.crashable = {a, b, c};
+  opts.crash_count = 8;
+  opts.max_concurrent_crashes = 2;
+  opts.partition_hosts = {a, b, c};
+  opts.partition_count = 4;
+  chaos::ChaosMonkey monkey(&fabric, opts);
+  int scheduled_crashes = 0;
+  for (const chaos::FaultEvent& ev : monkey.schedule()) {
+    if (ev.kind == chaos::FaultKind::kCrash) scheduled_crashes++;
+  }
+  ASSERT_GT(scheduled_crashes, 0);  // seed 42 must actually crash someone
+
+  int hooks_fired = 0;
+  for (net::HostId h : {a, b, c}) {
+    monkey.SetRestartHook(h, [&] { hooks_fired++; });
+  }
+  monkey.Arm();
+  sim.Run();
+
+  EXPECT_EQ(monkey.crashes_injected(), scheduled_crashes);
+  EXPECT_EQ(hooks_fired, scheduled_crashes);  // one restart per crash
+  for (net::HostId h : {a, b, c}) {
+    EXPECT_TRUE(fabric.IsHostUp(h));
+    for (net::HostId g : {a, b, c}) {
+      EXPECT_FALSE(fabric.IsLinkBlocked(h, g));
+    }
+  }
+  EXPECT_EQ(fabric.cost().loss_probability, base_loss);
+  EXPECT_EQ(fabric.cost().propagation, base_prop);
+}
+
+}  // namespace
+}  // namespace prism
+
+// Custom main: strip --seed=N (single-seed replay) before gtest parses the
+// rest.
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      prism::g_replay_seed = std::stoll(arg.substr(7));
+    }
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

@@ -152,6 +152,91 @@ TEST(FabricTest, RetransmitNoticesReceiverDeath) {
   EXPECT_LT(fabric.retransmissions(), 10u);
 }
 
+TEST(FabricTest, CrashRestartPurgesInFlightTraffic) {
+  // A message launched toward incarnation N of a host must NOT be delivered
+  // to incarnation N+1: a "crashed" host loses whatever was addressed to it,
+  // even if it restarts before the bytes land.
+  Simulator sim;
+  Fabric fabric(&sim, CostModel::EvalCluster40G());
+  HostId a = fabric.AddHost("a");
+  HostId b = fabric.AddHost("b");
+  int delivered = 0;
+  int dropped = 0;
+  fabric.Send(a, b, 4096, [&] { delivered++; }, [&] { dropped++; });
+  sim.Schedule(sim::Nanos(100), [&] {
+    fabric.SetHostUp(b, false);
+    fabric.SetHostUp(b, true);  // bounce: up again before the last byte
+  });
+  sim.Run();
+  EXPECT_EQ(delivered, 0);  // the old incarnation's traffic is gone
+  EXPECT_EQ(dropped, 0);    // the wire attempt itself succeeded
+  EXPECT_EQ(fabric.purged_messages(), 1u);
+  // The restarted incarnation receives fresh traffic normally.
+  fabric.Send(a, b, 64, [&] { delivered++; });
+  sim.Run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(FabricTest, RetransmitChainTornDownByRestart) {
+  // A retransmit chain pending toward a host that crash/restarts mid-window
+  // is torn down (on_dropped) rather than delivered to the new incarnation —
+  // even though the host is up again when the retry timer fires.
+  Simulator sim;
+  Fabric fabric(&sim, LossyModel(/*p=*/1.0, /*max_retransmits=*/10));
+  HostId a = fabric.AddHost("a");
+  HostId b = fabric.AddHost("b");
+  int delivered = 0;
+  int dropped = 0;
+  fabric.Send(a, b, 64, [&] { delivered++; }, [&] { dropped++; });
+  sim.Schedule(Micros(30), [&] {
+    fabric.SetHostUp(b, false);
+    fabric.SetHostUp(b, true);
+  });
+  sim.Run();
+  EXPECT_TRUE(fabric.IsHostUp(b));  // up at teardown time: epoch decided it
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(dropped, 1);
+  EXPECT_EQ(fabric.purged_messages(), 1u);
+  EXPECT_LT(fabric.retransmissions(), 10u);  // chain cut short
+  EXPECT_EQ(fabric.HostEpoch(b), 1u);
+}
+
+TEST(FabricTest, BlockedLinkRetransmitsUntilUnblocked) {
+  Simulator sim;
+  Fabric fabric(&sim, CostModel::EvalCluster40G());
+  HostId a = fabric.AddHost("a");
+  HostId b = fabric.AddHost("b");
+  fabric.SetLinkBlocked(a, b, true);
+  int forward = 0;
+  int reverse = 0;
+  fabric.Send(a, b, 64, [&] { forward++; });
+  fabric.Send(b, a, 64, [&] { reverse++; });  // partition is directed
+  sim.Schedule(Micros(50), [&] { fabric.SetLinkBlocked(a, b, false); });
+  sim.RunUntil(Micros(40));
+  EXPECT_EQ(forward, 0);   // still partitioned
+  EXPECT_EQ(reverse, 1);   // reverse direction unaffected
+  sim.Run();
+  EXPECT_EQ(forward, 1);   // a retry after the heal gets through
+  EXPECT_GT(fabric.partitioned_messages(), 0u);
+  EXPECT_GT(fabric.retransmissions(), 0u);
+}
+
+TEST(FabricTest, PermanentPartitionExhaustsToDrop) {
+  Simulator sim;
+  Fabric fabric(&sim, LossyModel(/*p=*/0.0, /*max_retransmits=*/3));
+  HostId a = fabric.AddHost("a");
+  HostId b = fabric.AddHost("b");
+  fabric.SetLinkBlocked(a, b, true);
+  int delivered = 0;
+  int dropped = 0;
+  fabric.Send(a, b, 64, [&] { delivered++; }, [&] { dropped++; });
+  sim.Run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(dropped, 1);
+  // Initial attempt + every retransmission hit the blocked link.
+  EXPECT_EQ(fabric.partitioned_messages(), 4u);
+}
+
 TEST(FabricTest, LoopbackSkipsWireButPaysLocalHop) {
   Simulator sim;
   Fabric fabric(&sim, CostModel::EvalCluster40G());

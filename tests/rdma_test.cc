@@ -373,6 +373,30 @@ TEST_F(RdmaFabricTest, DownHostYieldsUnavailable) {
   sim_.Run();
 }
 
+TEST_F(RdmaFabricTest, ServerCrashMidOpTimesOutInsteadOfHanging) {
+  // The server crash/restarts while the READ request is on the wire: the
+  // old incarnation's traffic is purged, no completion ever arrives, and
+  // the op must resolve kTimedOut at ≈ kOpTimeout instead of hanging.
+  mem_.Store(region_.base, Bytes(64, 0xaa));
+  bool checked = false;
+  sim::Spawn([&]() -> Task<void> {
+    sim::TimePoint start = sim_.Now();
+    auto r =
+        co_await client_.Read(&hw_service_, region_.rkey, region_.base, 64);
+    EXPECT_EQ(r.code(), Code::kTimedOut);
+    EXPECT_GE(sim_.Now() - start, RdmaClient::kOpTimeout);
+    EXPECT_LT(sim_.Now() - start, RdmaClient::kOpTimeout + sim::Millis(1));
+    checked = true;
+  });
+  sim_.Schedule(sim::Nanos(500), [&] {  // post done, delivery pending
+    fabric_.SetHostUp(server_, false);
+    fabric_.SetHostUp(server_, true);
+  });
+  sim_.Run();
+  EXPECT_TRUE(checked);
+  EXPECT_EQ(fabric_.purged_messages(), 1u);
+}
+
 TEST_F(RdmaFabricTest, ServerEgressSaturatesUnderLoad) {
   // 200 concurrent 512 B reads: aggregate completion is bounded by the
   // server's 25 Gb/s egress link, i.e. ~183 ns serialization per reply.

@@ -121,6 +121,56 @@ TEST_F(RpcTest, DownServerUnavailable) {
   EXPECT_TRUE(checked);
 }
 
+TEST_F(RpcTest, ServerCrashMidCallTimesOutInsteadOfHanging) {
+  // The server crashes (and even restarts) while the request is in flight:
+  // the request is purged with the dead incarnation, no response ever
+  // arrives, and the call must resolve kTimedOut at ≈ kRpcTimeout rather
+  // than blocking the client forever.
+  server_.Register(1, [](const Message&) -> Task<MessagePtr> {
+    co_return Message::Empty(8);
+  });
+  bool checked = false;
+  sim::Spawn([&]() -> Task<void> {
+    sim::TimePoint start = sim_.Now();
+    auto resp = co_await client_.Call(&server_, 1, Message::Empty(64));
+    EXPECT_EQ(resp.code(), Code::kTimedOut);
+    EXPECT_GE(sim_.Now() - start, RpcClient::kRpcTimeout);
+    EXPECT_LT(sim_.Now() - start, RpcClient::kRpcTimeout + sim::Millis(1));
+    checked = true;
+  });
+  // After the 350 ns client post, before the ~1 µs delivery.
+  sim_.Schedule(sim::Nanos(500), [&] {
+    fabric_.SetHostUp(server_host_, false);
+    fabric_.SetHostUp(server_host_, true);
+  });
+  sim_.Run();
+  EXPECT_TRUE(checked);
+  EXPECT_EQ(server_.calls_served(), 0u);
+  EXPECT_EQ(fabric_.purged_messages(), 1u);
+}
+
+TEST_F(RpcTest, ServerCrashMidHandlerTimesOut) {
+  // The request lands and the handler starts, but the host dies before the
+  // response hits the wire; the reply send is dropped and the client times
+  // out. (The sim handler keeps running — modeling state the dead server's
+  // incarnation computed but could never ship.)
+  server_.Register(2, [this](const Message&) -> Task<MessagePtr> {
+    co_await sim::SleepFor(&sim_, sim::Micros(20));
+    co_return Message::Empty(8);
+  });
+  bool checked = false;
+  sim::Spawn([&]() -> Task<void> {
+    auto resp = co_await client_.Call(&server_, 2, Message::Empty(64));
+    EXPECT_EQ(resp.code(), Code::kTimedOut);
+    checked = true;
+  });
+  sim_.Schedule(sim::Micros(10), [&] {
+    fabric_.SetHostUp(server_host_, false);
+  });
+  sim_.Run();
+  EXPECT_TRUE(checked);
+}
+
 TEST_F(RpcTest, HandlersConsumeServerCores) {
   // With 16 cores and ~2.8 µs of core time per call, 160 concurrent calls
   // need at least 10 core "waves" ≈ 28 µs of handler time.
