@@ -8,6 +8,8 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "bench/bench_report.h"
+#include "src/harness/sweep.h"
 #include "src/rs/prism_rs.h"
 
 namespace prism {
@@ -18,6 +20,7 @@ using sim::Task;
 struct Outcome {
   double get_mean_us;
   double skipped_pct;
+  uint64_t sim_events;
 };
 
 Outcome Run(bool optimized, double write_frac) {
@@ -69,23 +72,48 @@ Outcome Run(bool optimized, double write_frac) {
   out.skipped_pct = gets > 0 ? 100.0 * static_cast<double>(skipped) /
                                    static_cast<double>(gets)
                              : 0;
+  out.sim_events = sim.executed_events();
   return out;
 }
 
 }  // namespace
 }  // namespace prism
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prism;
+  const std::vector<double> write_fracs = {0.05, 0.3, 0.7};
+  std::vector<harness::SweepPoint<Outcome>> points;
+  for (double wf : write_fracs) {
+    points.push_back([wf] { return Run(false, wf); });
+    points.push_back([wf] { return Run(true, wf); });
+  }
+  const int jobs = harness::JobsFromArgs(argc, argv);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<Outcome> rows =
+      harness::RunSweep(points, harness::SweepOptions{jobs});
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   std::printf("== Ablation A9: one-round ABD reads (unanimous-quorum "
               "write-back elision) ==\n");
   std::printf("%12s %22s %24s %18s\n", "write frac", "stock GET mean(us)",
               "optimized GET mean(us)", "write-backs skipped");
-  for (double wf : {0.05, 0.3, 0.7}) {
-    Outcome stock = Run(false, wf);
-    Outcome opt = Run(true, wf);
-    std::printf("%12.2f %22.2f %24.2f %17.1f%%\n", wf, stock.get_mean_us,
-                opt.get_mean_us, opt.skipped_pct);
+  bench::FigureReporter reporter(
+      "abl_abd_oneround_reads", "Ablation A9: one-round ABD reads");
+  for (size_t i = 0; i < write_fracs.size(); ++i) {
+    const Outcome& stock = rows[2 * i];
+    const Outcome& opt = rows[2 * i + 1];
+    std::printf("%12.2f %22.2f %24.2f %17.1f%%\n", write_fracs[i],
+                stock.get_mean_us, opt.get_mean_us, opt.skipped_pct);
+    for (size_t v = 0; v < 2; ++v) {
+      workload::LoadPoint p;
+      p.clients = 8;
+      p.mean_us = rows[2 * i + v].get_mean_us;
+      p.sim_events = rows[2 * i + v].sim_events;
+      reporter.AddRow(v == 0 ? "stock" : "optimized", p, write_fracs[i]);
+    }
   }
+  reporter.SetSweepMetrics(wall, jobs);
+  reporter.WriteUnified();
   return 0;
 }

@@ -4,9 +4,14 @@
 // single round trip vs (b) as k sequential round trips. Chaining converts
 // k network RTTs into one RTT plus k small per-op server costs; the win
 // grows with k and with network depth.
+//
+// Every (k, mode, tier) cell is an independent simulation fanned out
+// through the parallel sweep runner (--jobs=N).
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "bench/bench_report.h"
+#include "src/harness/sweep.h"
 #include "src/prism/service.h"
 
 namespace prism {
@@ -17,7 +22,15 @@ using core::Op;
 using sim::Task;
 using sim::ToMicros;
 
-double MeasureChained(net::CostModel model, int k) {
+workload::LoadPoint PointOf(double us, const sim::Simulator& sim) {
+  workload::LoadPoint p;
+  p.clients = 1;
+  p.mean_us = p.p50_us = p.p99_us = us;
+  p.sim_events = sim.executed_events();
+  return p;
+}
+
+workload::LoadPoint MeasureChained(net::CostModel model, int k) {
   sim::Simulator sim;
   net::Fabric fabric(&sim, model);
   net::HostId server_host = fabric.AddHost("server");
@@ -41,10 +54,10 @@ double MeasureChained(net::CostModel model, int k) {
     us = ToMicros(sim.Now() - start);
   });
   sim.Run();
-  return us;
+  return PointOf(us, sim);
 }
 
-double MeasureSequential(net::CostModel model, int k) {
+workload::LoadPoint MeasureSequential(net::CostModel model, int k) {
   sim::Simulator sim;
   net::Fabric fabric(&sim, model);
   net::HostId server_host = fabric.AddHost("server");
@@ -67,26 +80,55 @@ double MeasureSequential(net::CostModel model, int k) {
     us = ToMicros(sim.Now() - start);
   });
   sim.Run();
-  return us;
+  return PointOf(us, sim);
 }
 
 }  // namespace
 }  // namespace prism
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prism;
+  const std::vector<int> ks = {1, 2, 3, 4, 8, 16};
+  std::vector<bench::SweepCell> cells;
+  for (int k : ks) {
+    const double x = k;
+    cells.push_back({"chained (cluster)", [=] {
+                       return MeasureChained(net::CostModel::EvalCluster40G(),
+                                             k);
+                     },
+                     x});
+    cells.push_back({"sequential (cluster)", [=] {
+                       return MeasureSequential(
+                           net::CostModel::EvalCluster40G(), k);
+                     },
+                     x});
+    cells.push_back({"chained (datacenter)", [=] {
+                       return MeasureChained(
+                           net::CostModel::DataCenterScale(), k);
+                     },
+                     x});
+    cells.push_back({"sequential (datacenter)", [=] {
+                       return MeasureSequential(
+                           net::CostModel::DataCenterScale(), k);
+                     },
+                     x});
+  }
+  bench::FigureReporter reporter(
+      "abl_chaining",
+      "Ablation A1: chaining k ops in 1 RT vs k sequential RTs");
+  std::vector<workload::LoadPoint> rows = bench::RunFigureSweep(
+      reporter, cells, harness::JobsFromArgs(argc, argv));
   std::printf("== Ablation A1: chaining k ops in 1 RT vs k sequential RTs "
               "(software PRISM) ==\n");
   std::printf("%4s | %-28s | %-28s\n", "", "cluster (0.6us ToR)",
               "datacenter (+24us)");
   std::printf("%4s %12s %14s %12s %14s\n", "k", "chained(us)",
               "sequential(us)", "chained(us)", "sequential(us)");
-  for (int k : {1, 2, 3, 4, 8, 16}) {
-    std::printf("%4d %12.1f %14.1f %12.1f %14.1f\n", k,
-                MeasureChained(net::CostModel::EvalCluster40G(), k),
-                MeasureSequential(net::CostModel::EvalCluster40G(), k),
-                MeasureChained(net::CostModel::DataCenterScale(), k),
-                MeasureSequential(net::CostModel::DataCenterScale(), k));
+  for (size_t i = 0; i < ks.size(); ++i) {
+    std::printf("%4d %12.1f %14.1f %12.1f %14.1f\n", ks[i],
+                rows[4 * i].mean_us, rows[4 * i + 1].mean_us,
+                rows[4 * i + 2].mean_us, rows[4 * i + 3].mean_us);
   }
+  reporter.WriteUnified();
   return 0;
 }

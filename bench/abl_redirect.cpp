@@ -9,6 +9,8 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "bench/bench_report.h"
+#include "src/harness/sweep.h"
 #include "src/prism/service.h"
 
 namespace prism {
@@ -19,7 +21,12 @@ using core::Op;
 using sim::Task;
 using sim::ToMicros;
 
-double MeasureInstallChain(bool on_nic, core::Deployment deployment) {
+struct Sample {
+  double us = 0;
+  uint64_t sim_events = 0;
+};
+
+Sample MeasureInstallChain(bool on_nic, core::Deployment deployment) {
   sim::Simulator sim;
   net::Fabric fabric(&sim, net::CostModel::EvalCluster40G());
   net::HostId server_host = fabric.AddHost("server");
@@ -64,26 +71,53 @@ double MeasureInstallChain(bool on_nic, core::Deployment deployment) {
     sim.Run();
     total += us;
   }
-  return total / iters;
+  return Sample{total / iters, sim.executed_events()};
 }
 
 }  // namespace
 }  // namespace prism
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prism;
+  // Cell order: (HW on-nic, HW host, SW on-nic, SW host).
+  std::vector<harness::SweepPoint<Sample>> points = {
+      [] {
+        return MeasureInstallChain(true,
+                                   core::Deployment::kHardwareProjected);
+      },
+      [] {
+        return MeasureInstallChain(false,
+                                   core::Deployment::kHardwareProjected);
+      },
+      [] { return MeasureInstallChain(true, core::Deployment::kSoftware); },
+      [] { return MeasureInstallChain(false, core::Deployment::kSoftware); },
+  };
+  const int jobs = harness::JobsFromArgs(argc, argv);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<Sample> rows =
+      harness::RunSweep(points, harness::SweepOptions{jobs});
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   std::printf("== Ablation A3: redirect temporary on-NIC vs in host memory "
               "(§4.2) ==\n");
   std::printf("%-22s %18s %22s\n", "deployment", "on-NIC scratch(us)",
               "host-memory scratch(us)");
   std::printf("%-22s %18.2f %22.2f   <- extra PCIe RTTs\n",
-              "PRISM HW (projected)",
-              MeasureInstallChain(true, core::Deployment::kHardwareProjected),
-              MeasureInstallChain(false,
-                                  core::Deployment::kHardwareProjected));
+              "PRISM HW (projected)", rows[0].us, rows[1].us);
   std::printf("%-22s %18.2f %22.2f   (software: CPU reaches both equally)\n",
-              "PRISM SW",
-              MeasureInstallChain(true, core::Deployment::kSoftware),
-              MeasureInstallChain(false, core::Deployment::kSoftware));
+              "PRISM SW", rows[2].us, rows[3].us);
+  bench::FigureReporter reporter(
+      "abl_redirect", "Ablation A3: redirect target placement");
+  const char* series[] = {"HW on-nic", "HW host", "SW on-nic", "SW host"};
+  for (size_t i = 0; i < rows.size(); ++i) {
+    workload::LoadPoint p;
+    p.clients = 1;
+    p.mean_us = rows[i].us;
+    p.sim_events = rows[i].sim_events;
+    reporter.AddRow(series[i], p);
+  }
+  reporter.SetSweepMetrics(wall, jobs);
+  reporter.WriteUnified();
   return 0;
 }

@@ -4,6 +4,8 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "bench/bench_report.h"
+#include "src/harness/sweep.h"
 #include "src/prism/service.h"
 
 namespace prism {
@@ -16,6 +18,7 @@ using sim::ToMicros;
 struct Sample {
   double us;
   uint64_t wire_bytes;
+  uint64_t sim_events = 0;
 };
 
 Sample Measure(bool use_search, uint64_t haystack, core::Deployment dep) {
@@ -52,27 +55,55 @@ Sample Measure(bool use_search, uint64_t haystack, core::Deployment dep) {
   });
   sim.Run();
   out.wire_bytes = fabric.total_wire_bytes() - before;
+  out.sim_events = sim.executed_events();
   return out;
 }
 
 }  // namespace
 }  // namespace prism
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prism;
+  const std::vector<uint64_t> sizes = {uint64_t{1} << 10, uint64_t{1} << 12,
+                                       uint64_t{1} << 14, uint64_t{1} << 16,
+                                       uint64_t{1} << 18};
+  std::vector<harness::SweepPoint<Sample>> points;
+  for (uint64_t size : sizes) {
+    points.push_back(
+        [size] { return Measure(false, size, core::Deployment::kSoftware); });
+    points.push_back(
+        [size] { return Measure(true, size, core::Deployment::kSoftware); });
+  }
+  const int jobs = harness::JobsFromArgs(argc, argv);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<Sample> rows =
+      harness::RunSweep(points, harness::SweepOptions{jobs});
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   std::printf("== Ablation A7: pattern search vs transfer-and-scan "
               "(software PRISM) ==\n");
   std::printf("%10s %14s %12s %14s %12s\n", "haystack", "READ+scan(us)",
               "wire(B)", "SEARCH(us)", "wire(B)");
-  for (uint64_t size : {uint64_t{1} << 10, uint64_t{1} << 12,
-                        uint64_t{1} << 14, uint64_t{1} << 16,
-                        uint64_t{1} << 18}) {
-    Sample read = Measure(false, size, core::Deployment::kSoftware);
-    Sample search = Measure(true, size, core::Deployment::kSoftware);
+  bench::FigureReporter reporter(
+      "abl_search", "Ablation A7: pattern search vs transfer-and-scan");
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    const Sample& read = rows[2 * i];
+    const Sample& search = rows[2 * i + 1];
     std::printf("%9lluK %14.1f %12llu %14.1f %12llu\n",
-                static_cast<unsigned long long>(size / 1024), read.us,
+                static_cast<unsigned long long>(sizes[i] / 1024), read.us,
                 static_cast<unsigned long long>(read.wire_bytes), search.us,
                 static_cast<unsigned long long>(search.wire_bytes));
+    for (size_t v = 0; v < 2; ++v) {
+      workload::LoadPoint p;
+      p.clients = 1;
+      p.mean_us = rows[2 * i + v].us;
+      p.sim_events = rows[2 * i + v].sim_events;
+      reporter.AddRow(v == 0 ? "READ+scan" : "SEARCH", p,
+                      static_cast<double>(sizes[i]));
+    }
   }
+  reporter.SetSweepMetrics(wall, jobs);
+  reporter.WriteUnified();
   return 0;
 }

@@ -7,6 +7,8 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "bench/bench_report.h"
+#include "src/harness/sweep.h"
 #include "src/rs/prism_rs.h"
 
 namespace prism {
@@ -17,6 +19,7 @@ using sim::Task;
 struct Outcome {
   double mean_us;
   double wire_bytes_per_op;
+  uint64_t sim_events;
 };
 
 Outcome Run(bool variable) {
@@ -58,24 +61,45 @@ Outcome Run(bool variable) {
   out.mean_us = hist.Summarize().mean_us;
   out.wire_bytes_per_op =
       static_cast<double>(fabric.total_wire_bytes() - bytes_before) / kOps;
+  out.sim_events = sim.executed_events();
   return out;
 }
 
 }  // namespace
 }  // namespace prism
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prism;
+  const int jobs = harness::JobsFromArgs(argc, argv);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<Outcome> rows = harness::RunSweep<Outcome>(
+      {[] { return Run(false); }, [] { return Run(true); }},
+      harness::SweepOptions{jobs});
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const Outcome& fixed = rows[0];
+  const Outcome& variable = rows[1];
   std::printf("== Ablation A8: fixed vs variable-size PRISM-RS blocks "
               "(§7.3 extension) ==\n");
   std::printf("workload: mixed 16–512 B values, 3 replicas, 50%% writes\n\n");
-  Outcome fixed = Run(false);
-  Outcome variable = Run(true);
   std::printf("%-22s %12s %18s\n", "mode", "mean(us)", "wire bytes/op");
   std::printf("%-22s %12.2f %18.0f\n", "fixed (512 B blocks)", fixed.mean_us,
               fixed.wire_bytes_per_op);
   std::printf("%-22s %12.2f %18.0f   <- bounded reads + exact buffers\n",
               "variable ⟨tag,ptr,bound⟩", variable.mean_us,
               variable.wire_bytes_per_op);
+  bench::FigureReporter reporter(
+      "abl_variable_rs", "Ablation A8: fixed vs variable-size blocks");
+  const char* names[] = {"fixed", "variable"};
+  for (size_t i = 0; i < rows.size(); ++i) {
+    workload::LoadPoint p;
+    p.clients = 1;
+    p.mean_us = rows[i].mean_us;
+    p.sim_events = rows[i].sim_events;
+    reporter.AddRow(names[i], p);
+  }
+  reporter.SetSweepMetrics(wall, jobs);
+  reporter.WriteUnified();
   return 0;
 }

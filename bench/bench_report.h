@@ -1,0 +1,214 @@
+// Machine-readable figure artifacts: results/BENCH_figs.json.
+//
+// Every converted bench driver funnels its sweep results through a
+// FigureReporter, which appends/replaces this driver's entry in one unified
+// document (alongside results/BENCH_sim.json from abl_sim_micro). The
+// document maps bench name -> figure entry:
+//
+//   {
+//   "fig3_kv_read": {"title": ..., "fast_mode": ..., "jobs": N,
+//                    "wall_seconds": ..., "sim_events": ...,
+//                    "events_per_sec": ..., "series": [
+//                      {"name": "Pilaf", "points": [{"clients": 1, ...}]}]},
+//   "fig6_rs_tput": {...}
+//   }
+//
+// The file is written one entry per line so drivers can merge without a
+// JSON parser: on write, lines whose top-level key differs from this
+// driver's are kept verbatim, this driver's entry is replaced, and entries
+// are sorted by key. The whole document stays valid JSON (validated by
+// scripts/bench_smoke.cmake via CMake's string(JSON)).
+#ifndef PRISM_BENCH_BENCH_REPORT_H_
+#define PRISM_BENCH_BENCH_REPORT_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/harness/sweep.h"
+#include "src/workload/driver.h"
+
+namespace prism::bench {
+
+class FigureReporter {
+ public:
+  FigureReporter(std::string bench_name, std::string title)
+      : bench_(std::move(bench_name)), title_(std::move(title)) {}
+
+  // Appends one sweep row under `series` (created on first use; series keep
+  // insertion order). `x` is the swept coordinate when it is not the client
+  // count (Zipf theta, chain length, batch size, ...).
+  void AddRow(const std::string& series, const workload::LoadPoint& p,
+              double x = std::nan("")) {
+    SeriesData& s = SeriesOf(series);
+    s.points.push_back(p);
+    s.x.push_back(x);
+  }
+
+  // Sweep-level execution metrics: wall-clock of the RunSweep call and the
+  // job count it ran with. Simulated events are summed from the rows.
+  void SetSweepMetrics(double wall_seconds, int jobs) {
+    wall_seconds_ = wall_seconds;
+    jobs_ = jobs;
+  }
+
+  uint64_t TotalSimEvents() const {
+    uint64_t total = 0;
+    for (const SeriesData& s : series_) {
+      for (const workload::LoadPoint& p : s.points) total += p.sim_events;
+    }
+    return total;
+  }
+
+  // Serializes this driver's entry as a single `"name": {...}` line.
+  std::string EntryLine() const {
+    JsonWriter w;
+    w.BeginObject(bench_);
+    w.Field("title", title_);
+    w.Field("fast_mode", FastMode());
+    w.Field("jobs", jobs_);
+    w.Field("wall_seconds", wall_seconds_);
+    const uint64_t events = TotalSimEvents();
+    w.Field("sim_events", events);
+    w.Field("events_per_sec",
+            wall_seconds_ > 0 ? static_cast<double>(events) / wall_seconds_
+                              : 0.0);
+    w.BeginArray("series");
+    for (const SeriesData& s : series_) {
+      w.BeginObject();
+      w.Field("name", s.name);
+      w.BeginArray("points");
+      for (size_t i = 0; i < s.points.size(); ++i) {
+        const workload::LoadPoint& p = s.points[i];
+        w.BeginObject();
+        if (!std::isnan(s.x[i])) w.Field("x", s.x[i]);
+        w.Field("clients", p.clients);
+        w.Field("tput_mops", p.tput_mops);
+        w.Field("mean_us", p.mean_us);
+        w.Field("p50_us", p.p50_us);
+        w.Field("p99_us", p.p99_us);
+        w.Field("abort_rate", p.abort_rate);
+        w.Field("sim_events", p.sim_events);
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    return w.str();
+  }
+
+  // Merges this entry into the unified document at `path` (default:
+  // results/BENCH_figs.json relative to the working directory). Entries from
+  // other drivers are preserved; the result is sorted by bench name.
+  bool WriteUnified(const std::string& path = "results/BENCH_figs.json") const {
+    std::vector<std::pair<std::string, std::string>> entries;  // key, line
+    std::ifstream in(path);
+    if (in) {
+      std::string line;
+      while (std::getline(in, line)) {
+        const std::string key = TopLevelKey(line);
+        if (!key.empty() && key != bench_) {
+          if (!line.empty() && line.back() == ',') line.pop_back();
+          entries.emplace_back(key, line);
+        }
+      }
+    }
+    entries.emplace_back(bench_, EntryLine());
+    std::sort(entries.begin(), entries.end());
+
+    std::filesystem::path p(path);
+    std::error_code ec;
+    if (p.has_parent_path()) {
+      std::filesystem::create_directories(p.parent_path(), ec);
+    }
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "FigureReporter: cannot open %s\n", path.c_str());
+      return false;
+    }
+    out << "{\n";
+    for (size_t i = 0; i < entries.size(); ++i) {
+      out << entries[i].second;
+      if (i + 1 < entries.size()) out << ',';
+      out << '\n';
+    }
+    out << "}\n";
+    return out.good();
+  }
+
+ private:
+  struct SeriesData {
+    std::string name;
+    std::vector<workload::LoadPoint> points;
+    std::vector<double> x;
+  };
+
+  SeriesData& SeriesOf(const std::string& name) {
+    for (SeriesData& s : series_) {
+      if (s.name == name) return s;
+    }
+    series_.push_back(SeriesData{name, {}, {}});
+    return series_.back();
+  }
+
+  // Extracts the quoted top-level key of a `"key": {...}` line; empty for
+  // the brace lines and anything unrecognized (dropped on rewrite).
+  static std::string TopLevelKey(const std::string& line) {
+    if (line.size() < 4 || line[0] != '"') return "";
+    const size_t close = line.find('"', 1);
+    if (close == std::string::npos) return "";
+    if (line.find(':', close) == std::string::npos) return "";
+    return line.substr(1, close - 1);
+  }
+
+  std::string bench_;
+  std::string title_;
+  std::vector<SeriesData> series_;
+  double wall_seconds_ = 0;
+  int jobs_ = 1;
+};
+
+// One cell of a figure sweep: a labeled, self-contained simulation factory.
+// `x` is the swept coordinate when it is not the client count.
+struct SweepCell {
+  std::string series;
+  harness::SweepPoint<workload::LoadPoint> run;
+  double x = std::nan("");
+};
+
+// Fans the cells out through the sweep runner, records every row (in cell
+// order) plus the sweep's wall-clock into `reporter`, and returns the rows
+// cell-index-ordered. Printing stays with the caller so each figure keeps
+// its own table format.
+inline std::vector<workload::LoadPoint> RunFigureSweep(
+    FigureReporter& reporter, const std::vector<SweepCell>& cells,
+    int jobs) {
+  std::vector<harness::SweepPoint<workload::LoadPoint>> points;
+  points.reserve(cells.size());
+  for (const SweepCell& c : cells) points.push_back(c.run);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<workload::LoadPoint> rows =
+      harness::RunSweep(points, harness::SweepOptions{jobs});
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  for (size_t i = 0; i < cells.size(); ++i) {
+    reporter.AddRow(cells[i].series, rows[i], cells[i].x);
+  }
+  reporter.SetSweepMetrics(wall, jobs > 0 ? jobs : harness::DefaultJobs());
+  return rows;
+}
+
+}  // namespace prism::bench
+
+#endif  // PRISM_BENCH_BENCH_REPORT_H_

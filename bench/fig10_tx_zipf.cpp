@@ -4,35 +4,10 @@
 // Paper shape: both systems lose throughput as skew rises (OCC and lock
 // conflicts), but PRISM-TX maintains its advantage across the whole sweep.
 #include "bench/tx_bench_lib.h"
+#include "src/harness/sweep.h"
 
-int main() {
-  using namespace prism;
-  using namespace prism::bench;
-  BenchWindows windows = BenchWindows::Default();
-  const int kClients = FastMode() ? 96 : 192;  // near-peak load
-  std::printf(
-      "\n== Figure 10: peak throughput vs Zipf coefficient (YCSB-T RMW, %d "
-      "clients) ==\n",
-      kClients);
-  std::printf("%6s %14s %10s %26s %10s %16s %10s\n", "zipf", "FaRM(Mtxn/s)",
-              "abort%", "FaRM-softRDMA(Mtxn/s)", "abort%",
-              "PRISM-TX(Mtxn/s)", "abort%");
-  std::vector<double> thetas =
-      FastMode() ? std::vector<double>{0.0, 0.9, 1.4}
-                 : std::vector<double>{0.0, 0.3, 0.6, 0.8, 0.9, 0.99, 1.2,
-                                       1.4, 1.6};
-  for (double theta : thetas) {
-    auto farm = RunFarmPoint(kClients, theta, rdma::Backend::kHardwareNic,
-                             windows, 100 + static_cast<uint64_t>(theta * 10));
-    auto farm_sw =
-        RunFarmPoint(kClients, theta, rdma::Backend::kSoftwareStack, windows,
-                     200 + static_cast<uint64_t>(theta * 10));
-    auto prism_point = RunPrismTxPoint(
-        kClients, theta, windows, 300 + static_cast<uint64_t>(theta * 10));
-    std::printf("%6.2f %14.3f %9.1f%% %26.3f %9.1f%% %16.3f %9.1f%%\n", theta,
-                farm.tput_mops, farm.abort_rate * 100, farm_sw.tput_mops,
-                farm_sw.abort_rate * 100, prism_point.tput_mops,
-                prism_point.abort_rate * 100);
-  }
+int main(int argc, char** argv) {
+  prism::bench::RunTxZipfFigure("fig10_tx_zipf",
+                                prism::harness::JobsFromArgs(argc, argv));
   return 0;
 }

@@ -8,9 +8,14 @@
 // Paper shape: PRISM SW beats 2×RDMA at every tier — the deeper the
 // network, the bigger the win — and even the BlueField wins once
 // propagation dominates processing.
+//
+// Each (tier, deployment) cell is an independent simulation fanned out
+// through the parallel sweep runner (--jobs=N).
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "bench/bench_report.h"
+#include "src/harness/sweep.h"
 #include "src/prism/service.h"
 #include "src/rdma/service.h"
 
@@ -29,7 +34,15 @@ struct Tier {
   net::CostModel model;
 };
 
-double MeasureRdma2Reads(const net::CostModel& model) {
+workload::LoadPoint PointOf(double us, const sim::Simulator& sim) {
+  workload::LoadPoint p;
+  p.clients = 1;
+  p.mean_us = p.p50_us = p.p99_us = us;
+  p.sim_events = sim.executed_events();
+  return p;
+}
+
+workload::LoadPoint MeasureRdma2Reads(const net::CostModel& model) {
   sim::Simulator sim;
   net::Fabric fabric(&sim, model);
   net::HostId server = fabric.AddHost("server");
@@ -52,11 +65,11 @@ double MeasureRdma2Reads(const net::CostModel& model) {
     us = ToMicros(sim.Now() - start);
   });
   sim.Run();
-  return us;
+  return PointOf(us, sim);
 }
 
-double MeasurePrismIndirect(const net::CostModel& model,
-                            Deployment deployment) {
+workload::LoadPoint MeasurePrismIndirect(const net::CostModel& model,
+                                         Deployment deployment) {
   sim::Simulator sim;
   net::Fabric fabric(&sim, model);
   net::HostId server_host = fabric.AddHost("server");
@@ -77,31 +90,54 @@ double MeasurePrismIndirect(const net::CostModel& model,
     us = ToMicros(sim.Now() - start);
   });
   sim.Run();
-  return us;
+  return PointOf(us, sim);
 }
 
 }  // namespace
 }  // namespace prism
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prism;
   Tier tiers[] = {
       {"Rack (ToR, +0.6us)", net::CostModel::RackScale()},
       {"Cluster (3-tier, +3us)", net::CostModel::ClusterScale()},
       {"Data Center (+24us)", net::CostModel::DataCenterScale()},
   };
+  std::vector<bench::SweepCell> cells;
+  for (size_t t = 0; t < 3; ++t) {
+    const net::CostModel model = tiers[t].model;
+    const double x = static_cast<double>(t);
+    cells.push_back(
+        {"2x RDMA", [=] { return MeasureRdma2Reads(model); }, x});
+    cells.push_back({"PRISM SW", [=] {
+                       return MeasurePrismIndirect(
+                           model, core::Deployment::kSoftware);
+                     },
+                     x});
+    cells.push_back({"PRISM BlueField", [=] {
+                       return MeasurePrismIndirect(
+                           model, core::Deployment::kBlueField);
+                     },
+                     x});
+    cells.push_back({"PRISM HW proj", [=] {
+                       return MeasurePrismIndirect(
+                           model, core::Deployment::kHardwareProjected);
+                     },
+                     x});
+  }
+  bench::FigureReporter reporter(
+      "fig2_topology", "Figure 2: indirect read latency vs network scale");
+  std::vector<workload::LoadPoint> rows = bench::RunFigureSweep(
+      reporter, cells, harness::JobsFromArgs(argc, argv));
   std::printf(
       "== Figure 2: indirect read latency vs network scale (512 B) ==\n");
   std::printf("%-26s %12s %14s %18s %20s\n", "tier", "2x RDMA(us)",
               "PRISM SW(us)", "PRISM BlueField(us)", "PRISM HW proj(us)");
-  for (const Tier& tier : tiers) {
-    std::printf("%-26s %12.1f %14.1f %18.1f %20.1f\n", tier.name,
-                MeasureRdma2Reads(tier.model),
-                MeasurePrismIndirect(tier.model, core::Deployment::kSoftware),
-                MeasurePrismIndirect(tier.model,
-                                     core::Deployment::kBlueField),
-                MeasurePrismIndirect(
-                    tier.model, core::Deployment::kHardwareProjected));
+  for (size_t t = 0; t < 3; ++t) {
+    std::printf("%-26s %12.1f %14.1f %18.1f %20.1f\n", tiers[t].name,
+                rows[4 * t].mean_us, rows[4 * t + 1].mean_us,
+                rows[4 * t + 2].mean_us, rows[4 * t + 3].mean_us);
   }
+  reporter.WriteUnified();
   return 0;
 }

@@ -6,9 +6,11 @@
 // PRISM-KV also sustains ~22% more read throughput because its GET moves
 // fewer bytes per request (one response instead of two, no CRCs).
 #include "bench/kv_bench_lib.h"
+#include "src/harness/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   prism::bench::RunKvFigure(
-      "Figure 3: KV store, 100% reads, uniform (YCSB-C)", /*read_frac=*/1.0);
+      "fig3_kv_read", "Figure 3: KV store, 100% reads, uniform (YCSB-C)",
+      /*read_frac=*/1.0, prism::harness::JobsFromArgs(argc, argv));
   return 0;
 }

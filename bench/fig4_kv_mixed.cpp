@@ -6,10 +6,12 @@
 // still matches or beats Pilaf's hardware variant overall and handily beats
 // the software-RDMA variant.
 #include "bench/kv_bench_lib.h"
+#include "src/harness/sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   prism::bench::RunKvFigure(
+      "fig4_kv_mixed",
       "Figure 4: KV store, 50% reads / 50% writes, uniform (YCSB-A)",
-      /*read_frac=*/0.5);
+      /*read_frac=*/0.5, prism::harness::JobsFromArgs(argc, argv));
   return 0;
 }

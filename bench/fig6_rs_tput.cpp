@@ -5,28 +5,10 @@
 // (2 chained phases vs 4 sequential lock/read/write/unlock round trips) and
 // saturates several Mops later (6 messages per op instead of 12).
 #include "bench/rs_bench_lib.h"
+#include "src/harness/sweep.h"
 
-int main() {
-  using namespace prism;
-  using namespace prism::bench;
-  BenchWindows windows = BenchWindows::Default();
-  workload::PrintHeader(
-      "Figure 6: replicated block store, 3 replicas, 50% writes, uniform");
-  for (int n : DefaultClientSweep()) {
-    workload::PrintRow(
-        "ABDLOCK", RunAbdLockPoint(n, 0.5, 0.0, rdma::Backend::kHardwareNic,
-                                   windows, 600 + static_cast<uint64_t>(n)));
-  }
-  for (int n : DefaultClientSweep()) {
-    workload::PrintRow(
-        "ABDLOCK (software RDMA)",
-        RunAbdLockPoint(n, 0.5, 0.0, rdma::Backend::kSoftwareStack, windows,
-                        700 + static_cast<uint64_t>(n)));
-  }
-  for (int n : DefaultClientSweep()) {
-    workload::PrintRow("PRISM-RS",
-                       RunPrismRsPoint(n, 0.5, 0.0, windows,
-                                       800 + static_cast<uint64_t>(n)));
-  }
+int main(int argc, char** argv) {
+  prism::bench::RunRsTputFigure("fig6_rs_tput",
+                                prism::harness::JobsFromArgs(argc, argv));
   return 0;
 }

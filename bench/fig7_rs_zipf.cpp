@@ -5,32 +5,10 @@
 // blocks), while ABD-LOCK degrades sharply once hot blocks cause lock
 // conflicts and backoff.
 #include "bench/rs_bench_lib.h"
+#include "src/harness/sweep.h"
 
-int main() {
-  using namespace prism;
-  using namespace prism::bench;
-  BenchWindows windows = BenchWindows::Default();
-  const int kClients = FastMode() ? 40 : 100;
-  std::printf(
-      "\n== Figure 7: latency vs Zipf coefficient (%d closed-loop clients, "
-      "50%% writes) ==\n",
-      kClients);
-  std::printf("%6s %22s %24s %22s\n", "zipf", "ABDLOCK mean(us)",
-              "ABDLOCK lock-failure%", "PRISM-RS mean(us)");
-  std::vector<double> thetas = FastMode()
-                                   ? std::vector<double>{0.0, 0.9, 1.2}
-                                   : std::vector<double>{0.0, 0.2, 0.4, 0.6,
-                                                         0.8, 0.9, 0.99, 1.1,
-                                                         1.2};
-  for (double theta : thetas) {
-    auto abd = RunAbdLockPoint(kClients, 0.5, theta,
-                               rdma::Backend::kHardwareNic, windows,
-                               7000 + static_cast<uint64_t>(theta * 100));
-    auto prism_point =
-        RunPrismRsPoint(kClients, 0.5, theta, windows,
-                        7500 + static_cast<uint64_t>(theta * 100));
-    std::printf("%6.2f %22.1f %23.1f%% %22.1f\n", theta, abd.mean_us,
-                abd.abort_rate * 100.0, prism_point.mean_us);
-  }
+int main(int argc, char** argv) {
+  prism::bench::RunRsZipfFigure("fig7_rs_zipf",
+                                prism::harness::JobsFromArgs(argc, argv));
   return 0;
 }

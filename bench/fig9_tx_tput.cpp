@@ -6,32 +6,10 @@
 // and lands ≈5.5 µs faster than FaRM, whose commit needs two RPC phases of
 // server CPU; PRISM-TX also reaches ~1 M more txn/s before saturating.
 #include "bench/tx_bench_lib.h"
+#include "src/harness/sweep.h"
 
-int main() {
-  using namespace prism;
-  using namespace prism::bench;
-  BenchWindows windows = BenchWindows::Default();
-  workload::PrintHeader(
-      "Figure 9: transactions, YCSB-T RMW, uniform, single shard",
-      "abort%");
-  auto AbortStr = [](const workload::LoadPoint& p) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%5.2f%%", p.abort_rate * 100);
-    return std::string(buf);
-  };
-  for (int n : DefaultClientSweep()) {
-    auto p = RunFarmPoint(n, 0.0, rdma::Backend::kHardwareNic, windows,
-                          900 + static_cast<uint64_t>(n));
-    workload::PrintRow("FaRM", p, AbortStr(p));
-  }
-  for (int n : DefaultClientSweep()) {
-    auto p = RunFarmPoint(n, 0.0, rdma::Backend::kSoftwareStack, windows,
-                          910 + static_cast<uint64_t>(n));
-    workload::PrintRow("FaRM (software RDMA)", p, AbortStr(p));
-  }
-  for (int n : DefaultClientSweep()) {
-    auto p = RunPrismTxPoint(n, 0.0, windows, 920 + static_cast<uint64_t>(n));
-    workload::PrintRow("PRISM-TX", p, AbortStr(p));
-  }
+int main(int argc, char** argv) {
+  prism::bench::RunTxTputFigure("fig9_tx_tput",
+                                prism::harness::JobsFromArgs(argc, argv));
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/bench_report.h"
 #include "src/kv/pilaf.h"
 #include "src/kv/prism_kv.h"
 
@@ -123,26 +124,46 @@ inline workload::LoadPoint RunPilafPoint(int n_clients, double read_frac,
   return RunClosedLoop(sim, n_clients, windows, loop);
 }
 
-inline void RunKvFigure(const char* title, double read_frac) {
+// Fans the full three-series client sweep through the parallel sweep
+// runner; each cell is a self-contained simulation (own Simulator, Fabric,
+// RNGs), so any --jobs count yields bit-identical rows and stdout.
+inline void RunKvFigure(const char* bench_name, const char* title,
+                        double read_frac, int jobs) {
   using workload::PrintHeader;
   using workload::PrintRow;
   BenchWindows windows = BenchWindows::Default();
+  std::vector<SweepCell> cells;
+  for (int n : DefaultClientSweep()) {
+    cells.push_back({"Pilaf", [=] {
+                       return RunPilafPoint(n, read_frac,
+                                            rdma::Backend::kHardwareNic,
+                                            windows,
+                                            1000 + static_cast<uint64_t>(n));
+                     }});
+  }
+  for (int n : DefaultClientSweep()) {
+    cells.push_back({"Pilaf (software RDMA)", [=] {
+                       return RunPilafPoint(n, read_frac,
+                                            rdma::Backend::kSoftwareStack,
+                                            windows,
+                                            2000 + static_cast<uint64_t>(n));
+                     }});
+  }
+  for (int n : DefaultClientSweep()) {
+    cells.push_back({"PRISM-KV", [=] {
+                       return RunPrismKvPoint(
+                           n, read_frac, windows,
+                           3000 + static_cast<uint64_t>(n));
+                     }});
+  }
+  FigureReporter reporter(bench_name, title);
+  std::vector<workload::LoadPoint> rows =
+      RunFigureSweep(reporter, cells, jobs);
   PrintHeader(title);
-  for (int n : DefaultClientSweep()) {
-    PrintRow("Pilaf", RunPilafPoint(n, read_frac,
-                                    rdma::Backend::kHardwareNic, windows,
-                                    1000 + static_cast<uint64_t>(n)));
+  for (size_t i = 0; i < cells.size(); ++i) {
+    PrintRow(cells[i].series, rows[i]);
   }
-  for (int n : DefaultClientSweep()) {
-    PrintRow("Pilaf (software RDMA)",
-             RunPilafPoint(n, read_frac, rdma::Backend::kSoftwareStack,
-                           windows, 2000 + static_cast<uint64_t>(n)));
-  }
-  for (int n : DefaultClientSweep()) {
-    PrintRow("PRISM-KV",
-             RunPrismKvPoint(n, read_frac, windows,
-                             3000 + static_cast<uint64_t>(n)));
-  }
+  reporter.WriteUnified();
 }
 
 }  // namespace prism::bench

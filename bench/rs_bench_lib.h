@@ -2,10 +2,12 @@
 #ifndef PRISM_BENCH_RS_BENCH_LIB_H_
 #define PRISM_BENCH_RS_BENCH_LIB_H_
 
+#include <cstdio>
 #include <memory>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/bench_report.h"
 #include "src/rs/abd_lock.h"
 #include "src/rs/prism_rs.h"
 
@@ -107,6 +109,88 @@ inline workload::LoadPoint RunAbdLockPoint(int n_clients, double write_frac,
     }
   };
   return RunClosedLoop(sim, n_clients, windows, loop);
+}
+
+// Figure 6: the full three-series client sweep, fanned out through the
+// parallel sweep runner (each cell is a self-contained simulation).
+inline void RunRsTputFigure(const char* bench_name, int jobs) {
+  const char* title =
+      "Figure 6: replicated block store, 3 replicas, 50% writes, uniform";
+  BenchWindows windows = BenchWindows::Default();
+  std::vector<SweepCell> cells;
+  for (int n : DefaultClientSweep()) {
+    cells.push_back({"ABDLOCK", [=] {
+                       return RunAbdLockPoint(
+                           n, 0.5, 0.0, rdma::Backend::kHardwareNic, windows,
+                           600 + static_cast<uint64_t>(n));
+                     }});
+  }
+  for (int n : DefaultClientSweep()) {
+    cells.push_back({"ABDLOCK (software RDMA)", [=] {
+                       return RunAbdLockPoint(
+                           n, 0.5, 0.0, rdma::Backend::kSoftwareStack,
+                           windows, 700 + static_cast<uint64_t>(n));
+                     }});
+  }
+  for (int n : DefaultClientSweep()) {
+    cells.push_back({"PRISM-RS", [=] {
+                       return RunPrismRsPoint(n, 0.5, 0.0, windows,
+                                              800 + static_cast<uint64_t>(n));
+                     }});
+  }
+  FigureReporter reporter(bench_name, title);
+  std::vector<workload::LoadPoint> rows =
+      RunFigureSweep(reporter, cells, jobs);
+  workload::PrintHeader(title);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    workload::PrintRow(cells[i].series, rows[i]);
+  }
+  reporter.WriteUnified();
+}
+
+// Figure 7: latency vs Zipf coefficient at fixed load, ABD-LOCK vs
+// PRISM-RS, one cell per (theta, system).
+inline void RunRsZipfFigure(const char* bench_name, int jobs) {
+  BenchWindows windows = BenchWindows::Default();
+  const int kClients = FastMode() ? 40 : 100;
+  std::vector<double> thetas = FastMode()
+                                   ? std::vector<double>{0.0, 0.9, 1.2}
+                                   : std::vector<double>{0.0, 0.2, 0.4, 0.6,
+                                                         0.8, 0.9, 0.99, 1.1,
+                                                         1.2};
+  std::vector<SweepCell> cells;
+  for (double theta : thetas) {
+    cells.push_back({"ABDLOCK", [=] {
+                       return RunAbdLockPoint(
+                           kClients, 0.5, theta, rdma::Backend::kHardwareNic,
+                           windows,
+                           7000 + static_cast<uint64_t>(theta * 100));
+                     },
+                     theta});
+    cells.push_back({"PRISM-RS", [=] {
+                       return RunPrismRsPoint(
+                           kClients, 0.5, theta, windows,
+                           7500 + static_cast<uint64_t>(theta * 100));
+                     },
+                     theta});
+  }
+  FigureReporter reporter(
+      bench_name, "Figure 7: latency vs Zipf coefficient, 50% writes");
+  std::vector<workload::LoadPoint> rows =
+      RunFigureSweep(reporter, cells, jobs);
+  std::printf(
+      "\n== Figure 7: latency vs Zipf coefficient (%d closed-loop clients, "
+      "50%% writes) ==\n",
+      kClients);
+  std::printf("%6s %22s %24s %22s\n", "zipf", "ABDLOCK mean(us)",
+              "ABDLOCK lock-failure%", "PRISM-RS mean(us)");
+  for (size_t i = 0; i < thetas.size(); ++i) {
+    const workload::LoadPoint& abd = rows[2 * i];
+    const workload::LoadPoint& prism_point = rows[2 * i + 1];
+    std::printf("%6.2f %22.1f %23.1f%% %22.1f\n", thetas[i], abd.mean_us,
+                abd.abort_rate * 100.0, prism_point.mean_us);
+  }
+  reporter.WriteUnified();
 }
 
 }  // namespace prism::bench

@@ -6,10 +6,13 @@
 #ifndef PRISM_BENCH_TX_BENCH_LIB_H_
 #define PRISM_BENCH_TX_BENCH_LIB_H_
 
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/bench_report.h"
 #include "src/tx/farm.h"
 #include "src/tx/prism_tx.h"
 
@@ -118,6 +121,99 @@ inline workload::LoadPoint RunFarmPoint(int n_clients, double zipf_theta,
     }
   };
   return RunClosedLoop(sim, n_clients, windows, loop);
+}
+
+// Figure 9: the full three-series client sweep (FaRM hw / FaRM sw /
+// PRISM-TX) through the parallel sweep runner.
+inline void RunTxTputFigure(const char* bench_name, int jobs) {
+  const char* title =
+      "Figure 9: transactions, YCSB-T RMW, uniform, single shard";
+  BenchWindows windows = BenchWindows::Default();
+  std::vector<SweepCell> cells;
+  for (int n : DefaultClientSweep()) {
+    cells.push_back({"FaRM", [=] {
+                       return RunFarmPoint(
+                           n, 0.0, rdma::Backend::kHardwareNic, windows,
+                           900 + static_cast<uint64_t>(n));
+                     }});
+  }
+  for (int n : DefaultClientSweep()) {
+    cells.push_back({"FaRM (software RDMA)", [=] {
+                       return RunFarmPoint(
+                           n, 0.0, rdma::Backend::kSoftwareStack, windows,
+                           910 + static_cast<uint64_t>(n));
+                     }});
+  }
+  for (int n : DefaultClientSweep()) {
+    cells.push_back({"PRISM-TX", [=] {
+                       return RunPrismTxPoint(
+                           n, 0.0, windows, 920 + static_cast<uint64_t>(n));
+                     }});
+  }
+  FigureReporter reporter(bench_name, title);
+  std::vector<workload::LoadPoint> rows =
+      RunFigureSweep(reporter, cells, jobs);
+  workload::PrintHeader(title, "abort%");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%5.2f%%", rows[i].abort_rate * 100);
+    workload::PrintRow(cells[i].series, rows[i], buf);
+  }
+  reporter.WriteUnified();
+}
+
+// Figure 10: peak throughput vs Zipf coefficient, one cell per
+// (theta, system).
+inline void RunTxZipfFigure(const char* bench_name, int jobs) {
+  BenchWindows windows = BenchWindows::Default();
+  const int kClients = FastMode() ? 96 : 192;  // near-peak load
+  std::vector<double> thetas =
+      FastMode() ? std::vector<double>{0.0, 0.9, 1.4}
+                 : std::vector<double>{0.0, 0.3, 0.6, 0.8, 0.9, 0.99, 1.2,
+                                       1.4, 1.6};
+  std::vector<SweepCell> cells;
+  for (double theta : thetas) {
+    cells.push_back({"FaRM", [=] {
+                       return RunFarmPoint(
+                           kClients, theta, rdma::Backend::kHardwareNic,
+                           windows, 100 + static_cast<uint64_t>(theta * 10));
+                     },
+                     theta});
+    cells.push_back({"FaRM (software RDMA)", [=] {
+                       return RunFarmPoint(
+                           kClients, theta, rdma::Backend::kSoftwareStack,
+                           windows, 200 + static_cast<uint64_t>(theta * 10));
+                     },
+                     theta});
+    cells.push_back({"PRISM-TX", [=] {
+                       return RunPrismTxPoint(
+                           kClients, theta, windows,
+                           300 + static_cast<uint64_t>(theta * 10));
+                     },
+                     theta});
+  }
+  FigureReporter reporter(
+      bench_name,
+      "Figure 10: peak throughput vs Zipf coefficient (YCSB-T RMW)");
+  std::vector<workload::LoadPoint> rows =
+      RunFigureSweep(reporter, cells, jobs);
+  std::printf(
+      "\n== Figure 10: peak throughput vs Zipf coefficient (YCSB-T RMW, %d "
+      "clients) ==\n",
+      kClients);
+  std::printf("%6s %14s %10s %26s %10s %16s %10s\n", "zipf", "FaRM(Mtxn/s)",
+              "abort%", "FaRM-softRDMA(Mtxn/s)", "abort%",
+              "PRISM-TX(Mtxn/s)", "abort%");
+  for (size_t i = 0; i < thetas.size(); ++i) {
+    const workload::LoadPoint& farm = rows[3 * i];
+    const workload::LoadPoint& farm_sw = rows[3 * i + 1];
+    const workload::LoadPoint& prism_point = rows[3 * i + 2];
+    std::printf("%6.2f %14.3f %9.1f%% %26.3f %9.1f%% %16.3f %9.1f%%\n",
+                thetas[i], farm.tput_mops, farm.abort_rate * 100,
+                farm_sw.tput_mops, farm_sw.abort_rate * 100,
+                prism_point.tput_mops, prism_point.abort_rate * 100);
+  }
+  reporter.WriteUnified();
 }
 
 }  // namespace prism::bench

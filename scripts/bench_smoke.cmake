@@ -1,8 +1,11 @@
 # Bench smoke test: run abl_sim_micro in fast mode with the google-benchmark
 # suite filtered out (the engine-throughput probes always run and write
 # results/BENCH_sim.json), then validate the JSON parses and carries the
-# expected schema. Invoked by CTest as
-#   cmake -DBENCH_BIN=<abl_sim_micro> -DWORK_DIR=<build dir> -P bench_smoke.cmake
+# expected schema. With -DFIGS_BIN=<driver> it also smoke-runs a converted
+# figure driver through the parallel sweep harness and validates the unified
+# results/BENCH_figs.json it emits. Invoked by CTest as
+#   cmake -DBENCH_BIN=<abl_sim_micro> -DFIGS_BIN=<fig2_topology>
+#         -DWORK_DIR=<build dir> -P bench_smoke.cmake
 if(NOT BENCH_BIN OR NOT WORK_DIR)
   message(FATAL_ERROR "bench_smoke.cmake needs -DBENCH_BIN=... and -DWORK_DIR=...")
 endif()
@@ -54,3 +57,72 @@ foreach(probe zero_delay timer_wheel mixed)
 endforeach()
 
 message(STATUS "BENCH_sim.json OK: all probes present with positive rates")
+
+if(NOT FIGS_BIN)
+  return()
+endif()
+
+# ---- unified figure results (results/BENCH_figs.json) ----
+# Run the driver through the sweep harness with two worker threads; the
+# entry it merges into BENCH_figs.json must carry the shared schema.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env PRISM_BENCH_FAST=1 ${FIGS_BIN} --jobs=2
+  WORKING_DIRECTORY ${WORK_DIR}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "figure driver exited with ${rc}:\n${out}\n${err}")
+endif()
+
+get_filename_component(figs_key ${FIGS_BIN} NAME_WE)
+set(figs_path ${WORK_DIR}/results/BENCH_figs.json)
+if(NOT EXISTS ${figs_path})
+  message(FATAL_ERROR "driver did not write ${figs_path}")
+endif()
+file(READ ${figs_path} figs)
+
+string(JSON entry GET "${figs}" ${figs_key})
+string(JSON ignored GET "${figs}" ${figs_key} title)
+string(JSON fast GET "${figs}" ${figs_key} fast_mode)
+if(NOT fast STREQUAL "ON" AND NOT fast STREQUAL "true")
+  message(FATAL_ERROR "PRISM_BENCH_FAST=1 not honored (fast_mode=${fast})")
+endif()
+string(JSON jobs GET "${figs}" ${figs_key} jobs)
+if(NOT jobs EQUAL 2)
+  message(FATAL_ERROR "--jobs=2 not recorded (jobs=${jobs})")
+endif()
+string(JSON ignored GET "${figs}" ${figs_key} wall_seconds)
+string(JSON events GET "${figs}" ${figs_key} sim_events)
+if(events LESS_EQUAL 0)
+  message(FATAL_ERROR "sim_events=${events}, expected > 0")
+endif()
+string(JSON rate GET "${figs}" ${figs_key} events_per_sec)
+if(rate LESS_EQUAL 0)
+  message(FATAL_ERROR "events_per_sec=${rate}, expected > 0")
+endif()
+
+string(JSON n_series LENGTH "${figs}" ${figs_key} series)
+if(n_series LESS_EQUAL 0)
+  message(FATAL_ERROR "entry ${figs_key} has no series")
+endif()
+math(EXPR last_series "${n_series} - 1")
+foreach(s RANGE ${last_series})
+  string(JSON ignored GET "${figs}" ${figs_key} series ${s} name)
+  string(JSON n_points LENGTH "${figs}" ${figs_key} series ${s} points)
+  if(n_points LESS_EQUAL 0)
+    message(FATAL_ERROR "series ${s} of ${figs_key} has no points")
+  endif()
+  math(EXPR last_point "${n_points} - 1")
+  foreach(p RANGE ${last_point})
+    foreach(field clients tput_mops mean_us p50_us p99_us abort_rate
+                  sim_events)
+      string(JSON ignored GET "${figs}" ${figs_key} series ${s} points ${p}
+             ${field})
+    endforeach()
+  endforeach()
+endforeach()
+
+message(STATUS
+  "BENCH_figs.json OK: ${figs_key} entry valid with ${n_series} series")

@@ -1,13 +1,29 @@
 #!/usr/bin/env bash
-# Full pre-merge check: tier-1 verify (ROADMAP.md) plus an ASan+UBSan build
-# of the whole tree with the sanitize-labeled test suite.
+# Full pre-merge check: tier-1 verify (ROADMAP.md), an ASan+UBSan build of
+# the whole tree with the sanitize-labeled test suite, the chaos sweeps, and
+# a ThreadSanitizer pass over the threaded sweep-harness paths.
 #
-#   scripts/check.sh            # tier-1 + sanitizers
-#   scripts/check.sh --fast     # tier-1 only
+#   scripts/check.sh                 # tier-1 + sanitizers
+#   scripts/check.sh --fast          # tier-1 only
+#   scripts/check.sh --jobs 4        # cap build/ctest/sweep parallelism
+#
+# --jobs also propagates to the in-process sweep harness (bench drivers and
+# chaos_test read PRISM_JOBS when no --jobs=N flag is given).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+FAST=0
 JOBS="$(nproc 2>/dev/null || echo 2)"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --fast) FAST=1 ;;
+    --jobs) JOBS="$2"; shift ;;
+    --jobs=*) JOBS="${1#--jobs=}" ;;
+    *) echo "usage: scripts/check.sh [--fast] [--jobs N]" >&2; exit 2 ;;
+  esac
+  shift
+done
+export PRISM_JOBS="$JOBS"
 
 echo "==> tier-1: configure + build (build/)"
 cmake --preset default >/dev/null
@@ -16,7 +32,7 @@ cmake --build build -j "$JOBS"
 echo "==> tier-1: ctest"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-if [[ "${1:-}" == "--fast" ]]; then
+if [[ "$FAST" == 1 ]]; then
   echo "OK (fast: sanitizer pass skipped)"
   exit 0
 fi
@@ -30,5 +46,13 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L sanitize
 
 echo "==> chaos: seeded fault-injection sweeps under ASan (label: chaos)"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L chaos
+
+echo "==> tsan: ThreadSanitizer configure + build (build-tsan/)"
+cmake --preset tsan >/dev/null
+cmake --build build-tsan -j "$JOBS"
+
+echo "==> tsan: sweep harness + chaos sweeps under TSan"
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+      -R 'SweepHarness|ChaosSweep'
 
 echo "OK"

@@ -41,6 +41,7 @@ class Recorder {
     return sim_->Now() >= start_ && sim_->Now() <= end_;
   }
   sim::TimePoint measure_end() const { return end_; }
+  const sim::Simulator& sim() const { return *sim_; }
 
   double ThroughputMops() const {
     const double seconds = sim::ToSeconds(end_ - start_);
@@ -68,6 +69,7 @@ struct LoadPoint {
   double p50_us = 0;
   double p99_us = 0;
   double abort_rate = 0;  // aborts / (completions + aborts); OCC benches
+  uint64_t sim_events = 0;  // engine events executed by this point's sim
 };
 
 inline LoadPoint MakeLoadPoint(int clients, const Recorder& recorder) {
@@ -82,6 +84,7 @@ inline LoadPoint MakeLoadPoint(int clients, const Recorder& recorder) {
       static_cast<double>(recorder.completed() + recorder.aborts());
   p.abort_rate = denom > 0 ? static_cast<double>(recorder.aborts()) / denom
                            : 0;
+  p.sim_events = recorder.sim().executed_events();
   return p;
 }
 

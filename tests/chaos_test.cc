@@ -23,7 +23,9 @@
 #include "src/chaos/chaos.h"
 #include "src/check/checker.h"
 #include "src/check/history.h"
+#include "src/common/logging.h"
 #include "src/common/rng.h"
+#include "src/harness/sweep.h"
 #include "src/kv/prism_kv.h"
 #include "src/rs/prism_rs.h"
 #include "src/sim/task.h"
@@ -34,6 +36,9 @@ namespace prism {
 // Set by --seed=N on the command line (see main below): replay exactly one
 // chaos seed instead of sweeping.
 int64_t g_replay_seed = -1;
+
+// Set by --jobs=N: worker threads for the sweep (0 = DefaultJobs()).
+int g_chaos_jobs = 0;
 
 namespace {
 
@@ -242,7 +247,9 @@ SeedRun RunTxSeed(uint64_t seed) {
   for (uint64_t k = 0; k < kKeys; ++k) {
     Bytes v(kValueSize, 0);
     v[0] = static_cast<uint8_t>(0xB0 + k);  // distinct, nonzero values
-    EXPECT_TRUE(cluster.LoadKey(k, v).ok());
+    // PRISM_CHECK, not EXPECT: this runs on sweep worker threads, and
+    // gtest assertions are not thread-safe.
+    PRISM_CHECK(cluster.LoadKey(k, v).ok());
     initial.emplace_back(k, check::IdOf(v));
   }
 
@@ -299,51 +306,53 @@ SeedRun RunTxSeed(uint64_t seed) {
 }
 
 // ---- the sweeps ----
-
-TEST(ChaosSweep, PrismRsLinearizable) {
+//
+// Each seed is an independent single-threaded simulation, so the 100-seed
+// sweep fans out across the harness thread pool (--jobs=N, default all
+// cores). Seed functions run on worker threads and return plain SeedRun
+// data; all gtest assertions happen here on the main thread afterwards, in
+// seed order, so pass/fail and output are identical for any job count.
+// A --seed=N replay runs inline on the main thread, exactly as before.
+void RunChaosSweep(const char* test, SeedRun (*fn)(uint64_t)) {
+  const std::vector<uint64_t> seeds = SweepSeeds();
+  std::vector<SeedRun> runs;
+  runs.reserve(seeds.size());
+  if (g_replay_seed >= 0) {
+    for (uint64_t seed : seeds) runs.push_back(fn(seed));
+  } else {
+    std::vector<harness::SweepPoint<SeedRun>> points;
+    points.reserve(seeds.size());
+    for (uint64_t seed : seeds) {
+      points.push_back([fn, seed] { return fn(seed); });
+    }
+    runs = harness::RunSweep(points, harness::SweepOptions{g_chaos_jobs});
+  }
   int total_faults = 0;
-  for (uint64_t seed : SweepSeeds()) {
-    SeedRun r = RunRsSeed(seed);
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    const SeedRun& r = runs[i];
     total_faults += r.faults;
-    EXPECT_FALSE(r.hang)
-        << "client coroutines hung\n"
-        << ReplayBanner("PrismRsLinearizable", seed, r);
-    EXPECT_TRUE(r.check.ok)
-        << ReplayBanner("PrismRsLinearizable", seed, r) << r.check.error;
+    EXPECT_FALSE(r.hang) << "client coroutines hung\n"
+                         << ReplayBanner(test, seeds[i], r);
+    EXPECT_TRUE(r.check.ok) << ReplayBanner(test, seeds[i], r)
+                            << r.check.error;
     if (r.hang || !r.check.ok) break;
   }
   // The sweep must actually exercise faults, not a quiet network.
-  if (g_replay_seed < 0) EXPECT_GT(total_faults, 100);
+  if (g_replay_seed < 0) {
+    EXPECT_GT(total_faults, 100);
+  }
+}
+
+TEST(ChaosSweep, PrismRsLinearizable) {
+  RunChaosSweep("PrismRsLinearizable", RunRsSeed);
 }
 
 TEST(ChaosSweep, PrismKvLinearizable) {
-  int total_faults = 0;
-  for (uint64_t seed : SweepSeeds()) {
-    SeedRun r = RunKvSeed(seed);
-    total_faults += r.faults;
-    EXPECT_FALSE(r.hang)
-        << "client coroutines hung\n"
-        << ReplayBanner("PrismKvLinearizable", seed, r);
-    EXPECT_TRUE(r.check.ok)
-        << ReplayBanner("PrismKvLinearizable", seed, r) << r.check.error;
-    if (r.hang || !r.check.ok) break;
-  }
-  if (g_replay_seed < 0) EXPECT_GT(total_faults, 100);
+  RunChaosSweep("PrismKvLinearizable", RunKvSeed);
 }
 
 TEST(ChaosSweep, PrismTxReadCommitted) {
-  int total_faults = 0;
-  for (uint64_t seed : SweepSeeds()) {
-    SeedRun r = RunTxSeed(seed);
-    total_faults += r.faults;
-    EXPECT_FALSE(r.hang)
-        << "client coroutines hung\n"
-        << ReplayBanner("PrismTxReadCommitted", seed, r);
-    EXPECT_TRUE(r.check.ok)
-        << ReplayBanner("PrismTxReadCommitted", seed, r) << r.check.error;
-    if (r.hang || !r.check.ok) break;
-  }
-  if (g_replay_seed < 0) EXPECT_GT(total_faults, 100);
+  RunChaosSweep("PrismTxReadCommitted", RunTxSeed);
 }
 
 // ---- crash amnesia: the checker must notice lost acknowledged writes ----
@@ -622,13 +631,15 @@ TEST(ChaosMonkeyTest, EveryFaultHealsByHorizonAndHooksFire) {
 }  // namespace
 }  // namespace prism
 
-// Custom main: strip --seed=N (single-seed replay) before gtest parses the
-// rest.
+// Custom main: strip --seed=N (single-seed replay) and --jobs=N (sweep
+// parallelism) before gtest parses the rest.
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--seed=", 0) == 0) {
       prism::g_replay_seed = std::stoll(arg.substr(7));
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      prism::g_chaos_jobs = std::stoi(arg.substr(7));
     }
   }
   ::testing::InitGoogleTest(&argc, argv);
