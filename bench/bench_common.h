@@ -96,6 +96,32 @@ inline workload::LoadPoint RunClosedLoop(sim::Simulator& sim,
   return workload::MakeLoadPoint(n_clients, *recorder);
 }
 
+// Observability flags shared by every figure driver (and the chaos
+// harness): --trace=PATH attaches a span tracer to one sweep cell and
+// writes Chrome trace-event JSON there; --metrics dumps a per-point
+// metrics-registry snapshot to results/METRICS_<bench>.json. Both are off
+// by default and — by construction, asserted in obs_determinism_test —
+// perturb neither the (when,seq) event replay nor any bench output.
+struct ObsOptions {
+  std::string trace_path;  // empty = tracing off
+  bool metrics = false;
+
+  bool enabled() const { return metrics || !trace_path.empty(); }
+};
+
+inline ObsOptions ObsFromArgs(int argc, char** argv) {
+  ObsOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--trace=", 0) == 0) {
+      o.trace_path = std::string(arg.substr(8));
+    } else if (arg == "--metrics") {
+      o.metrics = true;
+    }
+  }
+  return o;
+}
+
 // 8-byte dense key encoding used by all benches (the paper's 8-byte keys).
 inline std::string KeyOf(uint64_t i) {
   std::string k(8, '\0');

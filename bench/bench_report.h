@@ -34,6 +34,7 @@
 
 #include "bench/bench_common.h"
 #include "src/harness/sweep.h"
+#include "src/obs/obs.h"
 #include "src/workload/driver.h"
 
 namespace prism::bench {
@@ -97,6 +98,35 @@ class FigureReporter {
         w.Field("p99_us", p.p99_us);
         w.Field("abort_rate", p.abort_rate);
         w.Field("sim_events", p.sim_events);
+        if (!p.ops.empty()) {
+          // Table-1-style protocol-complexity accounting (§4.3): totals and
+          // per-op averages for every operation type this point executed.
+          w.BeginArray("ops");
+          for (const obs::OpStats& os : p.ops) {
+            const double n = static_cast<double>(os.count);
+            w.BeginObject();
+            w.Field("op", os.op);
+            w.Field("count", os.count);
+            w.Field("round_trips", os.totals.round_trips);
+            w.Field("messages", os.totals.messages);
+            w.Field("bytes_out", os.totals.bytes_out);
+            w.Field("bytes_in", os.totals.bytes_in);
+            w.Field("cpu_actions", os.totals.cpu_actions);
+            if (os.count > 0) {
+              w.Field("round_trips_per_op",
+                      static_cast<double>(os.totals.round_trips) / n);
+              w.Field("messages_per_op",
+                      static_cast<double>(os.totals.messages) / n);
+              w.Field("bytes_per_op",
+                      static_cast<double>(os.totals.bytes_out +
+                                          os.totals.bytes_in) / n);
+              w.Field("cpu_actions_per_op",
+                      static_cast<double>(os.totals.cpu_actions) / n);
+            }
+            w.EndObject();
+          }
+          w.EndArray();
+        }
         w.EndObject();
       }
       w.EndArray();
@@ -184,6 +214,89 @@ struct SweepCell {
   std::string series;
   harness::SweepPoint<workload::LoadPoint> run;
   double x = std::nan("");
+};
+
+// Per-sweep observability rig: owns one obs::PointObs per cell (stable
+// addresses — the vector is sized up front, so --jobs workers touch only
+// their own slot) plus the tracer attached to cell 0 when --trace is given.
+// Cell 0 is by convention the lightest point of the sweep (1 client), which
+// makes span parenting exact — see src/obs/obs.h.
+class ObsRig {
+ public:
+  ObsRig(const ObsOptions& opts, size_t n_cells)
+      : opts_(opts), slots_(n_cells) {
+    if (!opts_.trace_path.empty() && n_cells > 0) slots_[0].tracer = &tracer_;
+    if (opts_.metrics) {
+      for (obs::PointObs& s : slots_) s.want_metrics = true;
+    }
+  }
+
+  // Slot for cell i (nullptr when neither --trace nor --metrics was given,
+  // keeping the default path identical to pre-observability builds).
+  obs::PointObs* at(size_t i) {
+    return opts_.enabled() ? &slots_[i] : nullptr;
+  }
+
+  // Writes the trace JSON and the per-point metrics dump after the sweep.
+  // `cells` labels the metrics entries; returns false on IO failure.
+  bool Finish(const std::string& bench_name,
+              const std::vector<SweepCell>& cells) {
+    bool ok = true;
+    if (!opts_.trace_path.empty() && !slots_.empty()) {
+      ok = tracer_.WriteChromeJson(opts_.trace_path, slots_[0].host_names);
+      if (ok) {
+        std::printf("trace: %zu spans -> %s\n",
+                    tracer_.finished_count() + tracer_.open_count(),
+                    opts_.trace_path.c_str());
+      }
+    }
+    if (opts_.metrics) {
+      JsonWriter w;
+      w.BeginObject();
+      w.Field("bench", bench_name);
+      w.BeginArray("points");
+      for (size_t i = 0; i < slots_.size() && i < cells.size(); ++i) {
+        w.BeginObject();
+        w.Field("series", cells[i].series);
+        w.BeginArray("metrics");
+        for (const obs::MetricValue& v : slots_[i].snapshot.values) {
+          w.BeginObject();
+          w.Field("component", v.component);
+          w.Field("name", v.name);
+          if (!v.host.empty()) w.Field("host", v.host);
+          switch (v.kind) {
+            case obs::MetricValue::Kind::kCounter:
+              w.Field("counter", v.counter);
+              break;
+            case obs::MetricValue::Kind::kGauge:
+              w.Field("gauge", v.gauge);
+              break;
+            case obs::MetricValue::Kind::kHistogram:
+              w.Field("count", v.count);
+              w.Field("mean_ns", v.mean_ns);
+              w.Field("p50_ns", v.p50_ns);
+              w.Field("p99_ns", v.p99_ns);
+              w.Field("max_ns", v.max_ns);
+              break;
+          }
+          w.EndObject();
+        }
+        w.EndArray();
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+      const std::string path = "results/METRICS_" + bench_name + ".json";
+      ok = w.WriteFile(path) && ok;
+      std::printf("metrics: %zu points -> %s\n", slots_.size(), path.c_str());
+    }
+    return ok;
+  }
+
+ private:
+  ObsOptions opts_;
+  obs::Tracer tracer_;
+  std::vector<obs::PointObs> slots_;
 };
 
 // Fans the cells out through the sweep runner, records every row (in cell

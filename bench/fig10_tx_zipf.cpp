@@ -8,6 +8,7 @@
 
 int main(int argc, char** argv) {
   prism::bench::RunTxZipfFigure("fig10_tx_zipf",
-                                prism::harness::JobsFromArgs(argc, argv));
+                                prism::harness::JobsFromArgs(argc, argv),
+                                prism::bench::ObsFromArgs(argc, argv));
   return 0;
 }

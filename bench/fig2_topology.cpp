@@ -42,9 +42,11 @@ workload::LoadPoint PointOf(double us, const sim::Simulator& sim) {
   return p;
 }
 
-workload::LoadPoint MeasureRdma2Reads(const net::CostModel& model) {
+workload::LoadPoint MeasureRdma2Reads(const net::CostModel& model,
+                                      obs::PointObs* pobs) {
   sim::Simulator sim;
   net::Fabric fabric(&sim, model);
+  if (pobs != nullptr) fabric.obs().SetTracer(pobs->tracer);
   net::HostId server = fabric.AddHost("server");
   net::HostId client_host = fabric.AddHost("client");
   rdma::AddressSpace mem(1 << 21);
@@ -57,21 +59,33 @@ workload::LoadPoint MeasureRdma2Reads(const net::CostModel& model) {
   double us = 0;
   sim::Spawn([&]() -> Task<void> {
     sim::TimePoint start = sim.Now();
+    const obs::SpanId span =
+        fabric.obs().StartSpan("rdma.2reads", "app", client_host, sim.Now());
     auto p = co_await client.Read(&service, region.rkey, region.base, 8);
     PRISM_CHECK(p.ok());
     auto r = co_await client.Read(&service, region.rkey, LoadU64(p->data()),
                                   kValue);
     PRISM_CHECK(r.ok());
+    fabric.obs().FinishSpan(span, sim.Now());
+    fabric.obs().ops().Record("rdma.2reads", client.tally());
     us = ToMicros(sim.Now() - start);
   });
   sim.Run();
-  return PointOf(us, sim);
+  workload::LoadPoint pt = PointOf(us, sim);
+  pt.ops = fabric.obs().ops().Collect();
+  if (pobs != nullptr) {
+    if (pobs->tracer != nullptr) pobs->host_names = fabric.HostNames();
+    if (pobs->want_metrics) pobs->snapshot = fabric.obs().metrics().Snapshot();
+  }
+  return pt;
 }
 
 workload::LoadPoint MeasurePrismIndirect(const net::CostModel& model,
-                                         Deployment deployment) {
+                                         Deployment deployment,
+                                         obs::PointObs* pobs) {
   sim::Simulator sim;
   net::Fabric fabric(&sim, model);
+  if (pobs != nullptr) fabric.obs().SetTracer(pobs->tracer);
   net::HostId server_host = fabric.AddHost("server");
   net::HostId client_host = fabric.AddHost("client");
   rdma::AddressSpace mem(1 << 21);
@@ -83,14 +97,24 @@ workload::LoadPoint MeasurePrismIndirect(const net::CostModel& model,
   double us = 0;
   sim::Spawn([&]() -> Task<void> {
     sim::TimePoint start = sim.Now();
+    const obs::SpanId span = fabric.obs().StartSpan(
+        "prism.indirect_read", "app", client_host, sim.Now());
     auto r = co_await client.ExecuteOne(
         &server, Op::IndirectRead(region.rkey, region.base, kValue));
     PRISM_CHECK(r.ok());
     PRISM_CHECK(r->status.ok());
+    fabric.obs().FinishSpan(span, sim.Now());
+    fabric.obs().ops().Record("prism.indirect_read", client.tally());
     us = ToMicros(sim.Now() - start);
   });
   sim.Run();
-  return PointOf(us, sim);
+  workload::LoadPoint pt = PointOf(us, sim);
+  pt.ops = fabric.obs().ops().Collect();
+  if (pobs != nullptr) {
+    if (pobs->tracer != nullptr) pobs->host_names = fabric.HostNames();
+    if (pobs->want_metrics) pobs->snapshot = fabric.obs().metrics().Snapshot();
+  }
+  return pt;
 }
 
 }  // namespace
@@ -103,25 +127,33 @@ int main(int argc, char** argv) {
       {"Cluster (3-tier, +3us)", net::CostModel::ClusterScale()},
       {"Data Center (+24us)", net::CostModel::DataCenterScale()},
   };
+  const bench::ObsOptions obs_opts = bench::ObsFromArgs(argc, argv);
+  bench::ObsRig rig(obs_opts, 12);
   std::vector<bench::SweepCell> cells;
+  size_t slot = 0;
   for (size_t t = 0; t < 3; ++t) {
     const net::CostModel model = tiers[t].model;
     const double x = static_cast<double>(t);
+    obs::PointObs* po_rdma = rig.at(slot++);
     cells.push_back(
-        {"2x RDMA", [=] { return MeasureRdma2Reads(model); }, x});
+        {"2x RDMA", [=] { return MeasureRdma2Reads(model, po_rdma); }, x});
+    obs::PointObs* po_sw = rig.at(slot++);
     cells.push_back({"PRISM SW", [=] {
                        return MeasurePrismIndirect(
-                           model, core::Deployment::kSoftware);
+                           model, core::Deployment::kSoftware, po_sw);
                      },
                      x});
+    obs::PointObs* po_bf = rig.at(slot++);
     cells.push_back({"PRISM BlueField", [=] {
                        return MeasurePrismIndirect(
-                           model, core::Deployment::kBlueField);
+                           model, core::Deployment::kBlueField, po_bf);
                      },
                      x});
+    obs::PointObs* po_hw = rig.at(slot++);
     cells.push_back({"PRISM HW proj", [=] {
                        return MeasurePrismIndirect(
-                           model, core::Deployment::kHardwareProjected);
+                           model, core::Deployment::kHardwareProjected,
+                           po_hw);
                      },
                      x});
   }
@@ -139,5 +171,6 @@ int main(int argc, char** argv) {
                 rows[4 * t + 2].mean_us, rows[4 * t + 3].mean_us);
   }
   reporter.WriteUnified();
+  rig.Finish("fig2_topology", cells);
   return 0;
 }

@@ -11,6 +11,7 @@
 int main(int argc, char** argv) {
   prism::bench::RunKvFigure(
       "fig3_kv_read", "Figure 3: KV store, 100% reads, uniform (YCSB-C)",
-      /*read_frac=*/1.0, prism::harness::JobsFromArgs(argc, argv));
+      /*read_frac=*/1.0, prism::harness::JobsFromArgs(argc, argv),
+      prism::bench::ObsFromArgs(argc, argv));
   return 0;
 }

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   prism::bench::RunKvFigure(
       "fig4_kv_mixed",
       "Figure 4: KV store, 50% reads / 50% writes, uniform (YCSB-A)",
-      /*read_frac=*/0.5, prism::harness::JobsFromArgs(argc, argv));
+      /*read_frac=*/0.5, prism::harness::JobsFromArgs(argc, argv),
+      prism::bench::ObsFromArgs(argc, argv));
   return 0;
 }

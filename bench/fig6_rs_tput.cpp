@@ -9,6 +9,7 @@
 
 int main(int argc, char** argv) {
   prism::bench::RunRsTputFigure("fig6_rs_tput",
-                                prism::harness::JobsFromArgs(argc, argv));
+                                prism::harness::JobsFromArgs(argc, argv),
+                                prism::bench::ObsFromArgs(argc, argv));
   return 0;
 }

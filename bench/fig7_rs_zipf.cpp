@@ -9,6 +9,7 @@
 
 int main(int argc, char** argv) {
   prism::bench::RunRsZipfFigure("fig7_rs_zipf",
-                                prism::harness::JobsFromArgs(argc, argv));
+                                prism::harness::JobsFromArgs(argc, argv),
+                                prism::bench::ObsFromArgs(argc, argv));
   return 0;
 }

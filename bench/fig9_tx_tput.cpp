@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   prism::bench::RunTxTputFigure("fig9_tx_tput",
-                                prism::harness::JobsFromArgs(argc, argv));
+                                prism::harness::JobsFromArgs(argc, argv),
+                                prism::bench::ObsFromArgs(argc, argv));
   return 0;
 }

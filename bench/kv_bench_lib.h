@@ -23,12 +23,15 @@ struct KvWorkloadResult {
   workload::LoadPoint point;
 };
 
-// Runs a YCSB-style closed-loop sweep against PRISM-KV.
+// Runs a YCSB-style closed-loop sweep against PRISM-KV. `pobs`, when given,
+// attaches this point's tracer / collects its metrics snapshot.
 inline workload::LoadPoint RunPrismKvPoint(int n_clients, double read_frac,
                                            const BenchWindows& windows,
-                                           uint64_t seed) {
+                                           uint64_t seed,
+                                           obs::PointObs* pobs = nullptr) {
   sim::Simulator sim;
   net::Fabric fabric(&sim, net::CostModel::EvalCluster40G());
+  if (pobs != nullptr) fabric.obs().SetTracer(pobs->tracer);
   net::HostId server_host = fabric.AddHost("kv-server");
   kv::PrismKvOptions opts;
   const uint64_t keys = BenchKeyCount();
@@ -54,11 +57,17 @@ inline workload::LoadPoint RunPrismKvPoint(int n_clients, double read_frac,
   for (int c = 0; c < n_clients; ++c) rngs.push_back(master.Fork());
   auto loop = [&](int c, workload::Recorder* recorder) -> sim::Task<void> {
     kv::PrismKvClient* client = clients[static_cast<size_t>(c)].get();
+    const net::HostId host =
+        client_hosts[static_cast<size_t>(c) % client_hosts.size()];
     Rng* rng = &rngs[static_cast<size_t>(c)];
     while (sim.Now() < recorder->measure_end()) {
       const uint64_t key = rng->NextBelow(keys);
+      const bool is_get = rng->NextDouble() < read_frac;
       const sim::TimePoint op_start = sim.Now();
-      if (rng->NextDouble() < read_frac) {
+      const obs::TransportTally before = client->TransportTally();
+      const obs::SpanId span = fabric.obs().StartSpan(
+          is_get ? "kv.get" : "kv.put", "app", host, sim.Now());
+      if (is_get) {
         auto r = co_await client->Get(KeyOf(key));
         PRISM_CHECK(r.ok()) << r.status();
       } else {
@@ -66,20 +75,31 @@ inline workload::LoadPoint RunPrismKvPoint(int n_clients, double read_frac,
                                         Bytes(kBenchValueSize, 0x22));
         PRISM_CHECK(s.ok()) << s;
       }
+      fabric.obs().FinishSpan(span, sim.Now());
+      fabric.obs().ops().Record(is_get ? "kv.get" : "kv.put",
+                                client->TransportTally() - before);
       recorder->Record(op_start);
     }
     client->FlushReclaim();
   };
-  return RunClosedLoop(sim, n_clients, windows, loop);
+  workload::LoadPoint p = RunClosedLoop(sim, n_clients, windows, loop);
+  p.ops = fabric.obs().ops().Collect();
+  if (pobs != nullptr) {
+    if (pobs->tracer != nullptr) pobs->host_names = fabric.HostNames();
+    if (pobs->want_metrics) pobs->snapshot = fabric.obs().metrics().Snapshot();
+  }
+  return p;
 }
 
 // Runs the same sweep against Pilaf with the given RDMA backend.
 inline workload::LoadPoint RunPilafPoint(int n_clients, double read_frac,
                                          rdma::Backend backend,
                                          const BenchWindows& windows,
-                                         uint64_t seed) {
+                                         uint64_t seed,
+                                         obs::PointObs* pobs = nullptr) {
   sim::Simulator sim;
   net::Fabric fabric(&sim, net::CostModel::EvalCluster40G());
+  if (pobs != nullptr) fabric.obs().SetTracer(pobs->tracer);
   net::HostId server_host = fabric.AddHost("pilaf-server");
   kv::PilafOptions opts;
   const uint64_t keys = BenchKeyCount();
@@ -106,11 +126,17 @@ inline workload::LoadPoint RunPilafPoint(int n_clients, double read_frac,
   for (int c = 0; c < n_clients; ++c) rngs.push_back(master.Fork());
   auto loop = [&](int c, workload::Recorder* recorder) -> sim::Task<void> {
     kv::PilafClient* client = clients[static_cast<size_t>(c)].get();
+    const net::HostId host =
+        client_hosts[static_cast<size_t>(c) % client_hosts.size()];
     Rng* rng = &rngs[static_cast<size_t>(c)];
     while (sim.Now() < recorder->measure_end()) {
       const uint64_t key = rng->NextBelow(keys);
+      const bool is_get = rng->NextDouble() < read_frac;
       const sim::TimePoint op_start = sim.Now();
-      if (rng->NextDouble() < read_frac) {
+      const obs::TransportTally before = client->TransportTally();
+      const obs::SpanId span = fabric.obs().StartSpan(
+          is_get ? "kv.get" : "kv.put", "app", host, sim.Now());
+      if (is_get) {
         auto r = co_await client->Get(KeyOf(key));
         PRISM_CHECK(r.ok()) << r.status();
       } else {
@@ -118,42 +144,60 @@ inline workload::LoadPoint RunPilafPoint(int n_clients, double read_frac,
                                         Bytes(kBenchValueSize, 0x22));
         PRISM_CHECK(s.ok()) << s;
       }
+      fabric.obs().FinishSpan(span, sim.Now());
+      fabric.obs().ops().Record(is_get ? "kv.get" : "kv.put",
+                                client->TransportTally() - before);
       recorder->Record(op_start);
     }
   };
-  return RunClosedLoop(sim, n_clients, windows, loop);
+  workload::LoadPoint p = RunClosedLoop(sim, n_clients, windows, loop);
+  p.ops = fabric.obs().ops().Collect();
+  if (pobs != nullptr) {
+    if (pobs->tracer != nullptr) pobs->host_names = fabric.HostNames();
+    if (pobs->want_metrics) pobs->snapshot = fabric.obs().metrics().Snapshot();
+  }
+  return p;
 }
 
 // Fans the full three-series client sweep through the parallel sweep
 // runner; each cell is a self-contained simulation (own Simulator, Fabric,
 // RNGs), so any --jobs count yields bit-identical rows and stdout.
 inline void RunKvFigure(const char* bench_name, const char* title,
-                        double read_frac, int jobs) {
+                        double read_frac, int jobs,
+                        const ObsOptions& obs_opts = {}) {
   using workload::PrintHeader;
   using workload::PrintRow;
   BenchWindows windows = BenchWindows::Default();
+  const std::vector<int> sweep = DefaultClientSweep();
+  ObsRig rig(obs_opts, 3 * sweep.size());
   std::vector<SweepCell> cells;
-  for (int n : DefaultClientSweep()) {
+  size_t slot = 0;
+  for (int n : sweep) {
+    obs::PointObs* po = rig.at(slot++);
     cells.push_back({"Pilaf", [=] {
                        return RunPilafPoint(n, read_frac,
                                             rdma::Backend::kHardwareNic,
                                             windows,
-                                            1000 + static_cast<uint64_t>(n));
+                                            1000 + static_cast<uint64_t>(n),
+                                            po);
                      }});
   }
-  for (int n : DefaultClientSweep()) {
+  for (int n : sweep) {
+    obs::PointObs* po = rig.at(slot++);
     cells.push_back({"Pilaf (software RDMA)", [=] {
                        return RunPilafPoint(n, read_frac,
                                             rdma::Backend::kSoftwareStack,
                                             windows,
-                                            2000 + static_cast<uint64_t>(n));
+                                            2000 + static_cast<uint64_t>(n),
+                                            po);
                      }});
   }
-  for (int n : DefaultClientSweep()) {
+  for (int n : sweep) {
+    obs::PointObs* po = rig.at(slot++);
     cells.push_back({"PRISM-KV", [=] {
                        return RunPrismKvPoint(
                            n, read_frac, windows,
-                           3000 + static_cast<uint64_t>(n));
+                           3000 + static_cast<uint64_t>(n), po);
                      }});
   }
   FigureReporter reporter(bench_name, title);
@@ -164,6 +208,7 @@ inline void RunKvFigure(const char* bench_name, const char* title,
     PrintRow(cells[i].series, rows[i]);
   }
   reporter.WriteUnified();
+  rig.Finish(bench_name, cells);
 }
 
 }  // namespace prism::bench

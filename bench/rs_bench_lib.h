@@ -22,9 +22,11 @@ constexpr int kRsReplicas = 3;
 inline workload::LoadPoint RunPrismRsPoint(int n_clients, double write_frac,
                                            double zipf_theta,
                                            const BenchWindows& windows,
-                                           uint64_t seed) {
+                                           uint64_t seed,
+                                           obs::PointObs* pobs = nullptr) {
   sim::Simulator sim;
   net::Fabric fabric(&sim, net::CostModel::EvalCluster40G());
+  if (pobs != nullptr) fabric.obs().SetTracer(pobs->tracer);
   rs::PrismRsOptions opts;
   opts.n_blocks = RsBlockCount();
   opts.block_size = kRsBlockSize;
@@ -43,11 +45,17 @@ inline workload::LoadPoint RunPrismRsPoint(int n_clients, double write_frac,
   workload::KeyChooser chooser(RsBlockCount(), zipf_theta);
   auto loop = [&](int c, workload::Recorder* recorder) -> sim::Task<void> {
     rs::PrismRsClient* client = clients[static_cast<size_t>(c)].get();
+    const net::HostId host =
+        client_hosts[static_cast<size_t>(c) % client_hosts.size()];
     Rng* rng = &rngs[static_cast<size_t>(c)];
     while (sim.Now() < recorder->measure_end()) {
       const uint64_t block = chooser.Next(*rng);
+      const bool is_put = rng->NextDouble() < write_frac;
       const sim::TimePoint op_start = sim.Now();
-      if (rng->NextDouble() < write_frac) {
+      const obs::TransportTally before = client->TransportTally();
+      const obs::SpanId span = fabric.obs().StartSpan(
+          is_put ? "rs.put" : "rs.get", "app", host, sim.Now());
+      if (is_put) {
         Status s = co_await client->Put(
             block, Bytes(kRsBlockSize, static_cast<uint8_t>(c)));
         PRISM_CHECK(s.ok()) << s;
@@ -55,20 +63,31 @@ inline workload::LoadPoint RunPrismRsPoint(int n_clients, double write_frac,
         auto r = co_await client->Get(block);
         PRISM_CHECK(r.ok()) << r.status();
       }
+      fabric.obs().FinishSpan(span, sim.Now());
+      fabric.obs().ops().Record(is_put ? "rs.put" : "rs.get",
+                                client->TransportTally() - before);
       recorder->Record(op_start);
     }
     client->FlushReclaim();
   };
-  return RunClosedLoop(sim, n_clients, windows, loop);
+  workload::LoadPoint p = RunClosedLoop(sim, n_clients, windows, loop);
+  p.ops = fabric.obs().ops().Collect();
+  if (pobs != nullptr) {
+    if (pobs->tracer != nullptr) pobs->host_names = fabric.HostNames();
+    if (pobs->want_metrics) pobs->snapshot = fabric.obs().metrics().Snapshot();
+  }
+  return p;
 }
 
 inline workload::LoadPoint RunAbdLockPoint(int n_clients, double write_frac,
                                            double zipf_theta,
                                            rdma::Backend backend,
                                            const BenchWindows& windows,
-                                           uint64_t seed) {
+                                           uint64_t seed,
+                                           obs::PointObs* pobs = nullptr) {
   sim::Simulator sim;
   net::Fabric fabric(&sim, net::CostModel::EvalCluster40G());
+  if (pobs != nullptr) fabric.obs().SetTracer(pobs->tracer);
   rs::AbdLockOptions opts;
   opts.n_blocks = RsBlockCount();
   opts.block_size = kRsBlockSize;
@@ -87,55 +106,77 @@ inline workload::LoadPoint RunAbdLockPoint(int n_clients, double write_frac,
   workload::KeyChooser chooser(RsBlockCount(), zipf_theta);
   auto loop = [&](int c, workload::Recorder* recorder) -> sim::Task<void> {
     rs::AbdLockClient* client = clients[static_cast<size_t>(c)].get();
+    const net::HostId host =
+        client_hosts[static_cast<size_t>(c) % client_hosts.size()];
     Rng* rng = &rngs[static_cast<size_t>(c)];
     while (sim.Now() < recorder->measure_end()) {
       const uint64_t block = chooser.Next(*rng);
+      const bool is_put = rng->NextDouble() < write_frac;
       const sim::TimePoint op_start = sim.Now();
-      if (rng->NextDouble() < write_frac) {
+      const obs::TransportTally before = client->TransportTally();
+      const obs::SpanId span = fabric.obs().StartSpan(
+          is_put ? "abd.put" : "abd.get", "app", host, sim.Now());
+      bool ok = true;
+      if (is_put) {
         Status s = co_await client->Put(
             block, Bytes(kRsBlockSize, static_cast<uint8_t>(c)));
-        if (!s.ok()) {
-          recorder->RecordAbort();  // lock-acquisition exhaustion
-          continue;
-        }
+        ok = s.ok();
       } else {
         auto r = co_await client->Get(block);
-        if (!r.ok()) {
-          recorder->RecordAbort();
-          continue;
-        }
+        ok = r.ok();
+      }
+      fabric.obs().FinishSpan(span, sim.Now());
+      fabric.obs().ops().Record(is_put ? "abd.put" : "abd.get",
+                                client->TransportTally() - before);
+      if (!ok) {
+        recorder->RecordAbort();  // lock-acquisition exhaustion
+        continue;
       }
       recorder->Record(op_start);
     }
   };
-  return RunClosedLoop(sim, n_clients, windows, loop);
+  workload::LoadPoint p = RunClosedLoop(sim, n_clients, windows, loop);
+  p.ops = fabric.obs().ops().Collect();
+  if (pobs != nullptr) {
+    if (pobs->tracer != nullptr) pobs->host_names = fabric.HostNames();
+    if (pobs->want_metrics) pobs->snapshot = fabric.obs().metrics().Snapshot();
+  }
+  return p;
 }
 
 // Figure 6: the full three-series client sweep, fanned out through the
 // parallel sweep runner (each cell is a self-contained simulation).
-inline void RunRsTputFigure(const char* bench_name, int jobs) {
+inline void RunRsTputFigure(const char* bench_name, int jobs,
+                            const ObsOptions& obs_opts = {}) {
   const char* title =
       "Figure 6: replicated block store, 3 replicas, 50% writes, uniform";
   BenchWindows windows = BenchWindows::Default();
+  const std::vector<int> sweep = DefaultClientSweep();
+  ObsRig rig(obs_opts, 3 * sweep.size());
   std::vector<SweepCell> cells;
-  for (int n : DefaultClientSweep()) {
+  size_t slot = 0;
+  for (int n : sweep) {
+    obs::PointObs* po = rig.at(slot++);
     cells.push_back({"ABDLOCK", [=] {
                        return RunAbdLockPoint(
                            n, 0.5, 0.0, rdma::Backend::kHardwareNic, windows,
-                           600 + static_cast<uint64_t>(n));
+                           600 + static_cast<uint64_t>(n), po);
                      }});
   }
-  for (int n : DefaultClientSweep()) {
+  for (int n : sweep) {
+    obs::PointObs* po = rig.at(slot++);
     cells.push_back({"ABDLOCK (software RDMA)", [=] {
                        return RunAbdLockPoint(
                            n, 0.5, 0.0, rdma::Backend::kSoftwareStack,
-                           windows, 700 + static_cast<uint64_t>(n));
+                           windows, 700 + static_cast<uint64_t>(n), po);
                      }});
   }
-  for (int n : DefaultClientSweep()) {
+  for (int n : sweep) {
+    obs::PointObs* po = rig.at(slot++);
     cells.push_back({"PRISM-RS", [=] {
                        return RunPrismRsPoint(n, 0.5, 0.0, windows,
-                                              800 + static_cast<uint64_t>(n));
+                                              800 + static_cast<uint64_t>(n),
+                                              po);
                      }});
   }
   FigureReporter reporter(bench_name, title);
@@ -146,11 +187,13 @@ inline void RunRsTputFigure(const char* bench_name, int jobs) {
     workload::PrintRow(cells[i].series, rows[i]);
   }
   reporter.WriteUnified();
+  rig.Finish(bench_name, cells);
 }
 
 // Figure 7: latency vs Zipf coefficient at fixed load, ABD-LOCK vs
 // PRISM-RS, one cell per (theta, system).
-inline void RunRsZipfFigure(const char* bench_name, int jobs) {
+inline void RunRsZipfFigure(const char* bench_name, int jobs,
+                            const ObsOptions& obs_opts = {}) {
   BenchWindows windows = BenchWindows::Default();
   const int kClients = FastMode() ? 40 : 100;
   std::vector<double> thetas = FastMode()
@@ -158,19 +201,24 @@ inline void RunRsZipfFigure(const char* bench_name, int jobs) {
                                    : std::vector<double>{0.0, 0.2, 0.4, 0.6,
                                                          0.8, 0.9, 0.99, 1.1,
                                                          1.2};
+  ObsRig rig(obs_opts, 2 * thetas.size());
   std::vector<SweepCell> cells;
+  size_t slot = 0;
   for (double theta : thetas) {
+    obs::PointObs* po_abd = rig.at(slot++);
     cells.push_back({"ABDLOCK", [=] {
                        return RunAbdLockPoint(
                            kClients, 0.5, theta, rdma::Backend::kHardwareNic,
                            windows,
-                           7000 + static_cast<uint64_t>(theta * 100));
+                           7000 + static_cast<uint64_t>(theta * 100), po_abd);
                      },
                      theta});
+    obs::PointObs* po_prism = rig.at(slot++);
     cells.push_back({"PRISM-RS", [=] {
                        return RunPrismRsPoint(
                            kClients, 0.5, theta, windows,
-                           7500 + static_cast<uint64_t>(theta * 100));
+                           7500 + static_cast<uint64_t>(theta * 100),
+                           po_prism);
                      },
                      theta});
   }
@@ -191,6 +239,7 @@ inline void RunRsZipfFigure(const char* bench_name, int jobs) {
                 abd.abort_rate * 100.0, prism_point.mean_us);
   }
   reporter.WriteUnified();
+  rig.Finish(bench_name, cells);
 }
 
 }  // namespace prism::bench

@@ -23,9 +23,11 @@ constexpr uint64_t kTxValueSize = 512;
 
 inline workload::LoadPoint RunPrismTxPoint(int n_clients, double zipf_theta,
                                            const BenchWindows& windows,
-                                           uint64_t seed) {
+                                           uint64_t seed,
+                                           obs::PointObs* pobs = nullptr) {
   sim::Simulator sim;
   net::Fabric fabric(&sim, net::CostModel::EvalCluster40G());
+  if (pobs != nullptr) fabric.obs().SetTracer(pobs->tracer);
   tx::PrismTxOptions opts;
   opts.keys_per_shard = TxKeyCount();
   opts.value_size = kTxValueSize;
@@ -47,13 +49,21 @@ inline workload::LoadPoint RunPrismTxPoint(int n_clients, double zipf_theta,
   workload::KeyChooser chooser(TxKeyCount(), zipf_theta);
   auto loop = [&](int c, workload::Recorder* recorder) -> sim::Task<void> {
     tx::PrismTxClient* client = clients[static_cast<size_t>(c)].get();
+    const net::HostId host =
+        client_hosts[static_cast<size_t>(c) % client_hosts.size()];
     Rng* rng = &rngs[static_cast<size_t>(c)];
     while (sim.Now() < recorder->measure_end()) {
       const uint64_t key = chooser.Next(*rng);
       const sim::TimePoint op_start = sim.Now();
+      const obs::TransportTally before = client->TransportTally();
+      const obs::SpanId span =
+          fabric.obs().StartSpan("tx.rmw", "app", host, sim.Now());
       tx::Transaction txn = client->Begin();
       auto v = co_await client->Read(txn, key);
       if (!v.ok()) {
+        fabric.obs().FinishSpan(span, sim.Now());
+        fabric.obs().ops().Record("tx.rmw",
+                                  client->TransportTally() - before);
         recorder->RecordAbort();
         continue;
       }
@@ -61,6 +71,8 @@ inline workload::LoadPoint RunPrismTxPoint(int n_clients, double zipf_theta,
       updated[0] = static_cast<uint8_t>(updated[0] + 1);
       client->Write(txn, key, std::move(updated));
       Status s = co_await client->Commit(txn);
+      fabric.obs().FinishSpan(span, sim.Now());
+      fabric.obs().ops().Record("tx.rmw", client->TransportTally() - before);
       if (s.ok()) {
         recorder->Record(op_start);
       } else {
@@ -69,15 +81,23 @@ inline workload::LoadPoint RunPrismTxPoint(int n_clients, double zipf_theta,
     }
     client->FlushReclaim();
   };
-  return RunClosedLoop(sim, n_clients, windows, loop);
+  workload::LoadPoint p = RunClosedLoop(sim, n_clients, windows, loop);
+  p.ops = fabric.obs().ops().Collect();
+  if (pobs != nullptr) {
+    if (pobs->tracer != nullptr) pobs->host_names = fabric.HostNames();
+    if (pobs->want_metrics) pobs->snapshot = fabric.obs().metrics().Snapshot();
+  }
+  return p;
 }
 
 inline workload::LoadPoint RunFarmPoint(int n_clients, double zipf_theta,
                                         rdma::Backend backend,
                                         const BenchWindows& windows,
-                                        uint64_t seed) {
+                                        uint64_t seed,
+                                        obs::PointObs* pobs = nullptr) {
   sim::Simulator sim;
   net::Fabric fabric(&sim, net::CostModel::EvalCluster40G());
+  if (pobs != nullptr) fabric.obs().SetTracer(pobs->tracer);
   tx::FarmOptions opts;
   opts.keys_per_shard = TxKeyCount();
   opts.value_size = kTxValueSize;
@@ -99,13 +119,21 @@ inline workload::LoadPoint RunFarmPoint(int n_clients, double zipf_theta,
   workload::KeyChooser chooser(TxKeyCount(), zipf_theta);
   auto loop = [&](int c, workload::Recorder* recorder) -> sim::Task<void> {
     tx::FarmClient* client = clients[static_cast<size_t>(c)].get();
+    const net::HostId host =
+        client_hosts[static_cast<size_t>(c) % client_hosts.size()];
     Rng* rng = &rngs[static_cast<size_t>(c)];
     while (sim.Now() < recorder->measure_end()) {
       const uint64_t key = chooser.Next(*rng);
       const sim::TimePoint op_start = sim.Now();
+      const obs::TransportTally before = client->TransportTally();
+      const obs::SpanId span =
+          fabric.obs().StartSpan("tx.rmw", "app", host, sim.Now());
       tx::Transaction txn = client->Begin();
       auto v = co_await client->Read(txn, key);
       if (!v.ok()) {
+        fabric.obs().FinishSpan(span, sim.Now());
+        fabric.obs().ops().Record("tx.rmw",
+                                  client->TransportTally() - before);
         recorder->RecordAbort();
         continue;
       }
@@ -113,6 +141,8 @@ inline workload::LoadPoint RunFarmPoint(int n_clients, double zipf_theta,
       updated[0] = static_cast<uint8_t>(updated[0] + 1);
       client->Write(txn, key, std::move(updated));
       Status s = co_await client->Commit(txn);
+      fabric.obs().FinishSpan(span, sim.Now());
+      fabric.obs().ops().Record("tx.rmw", client->TransportTally() - before);
       if (s.ok()) {
         recorder->Record(op_start);
       } else {
@@ -120,34 +150,48 @@ inline workload::LoadPoint RunFarmPoint(int n_clients, double zipf_theta,
       }
     }
   };
-  return RunClosedLoop(sim, n_clients, windows, loop);
+  workload::LoadPoint p = RunClosedLoop(sim, n_clients, windows, loop);
+  p.ops = fabric.obs().ops().Collect();
+  if (pobs != nullptr) {
+    if (pobs->tracer != nullptr) pobs->host_names = fabric.HostNames();
+    if (pobs->want_metrics) pobs->snapshot = fabric.obs().metrics().Snapshot();
+  }
+  return p;
 }
 
 // Figure 9: the full three-series client sweep (FaRM hw / FaRM sw /
 // PRISM-TX) through the parallel sweep runner.
-inline void RunTxTputFigure(const char* bench_name, int jobs) {
+inline void RunTxTputFigure(const char* bench_name, int jobs,
+                            const ObsOptions& obs_opts = {}) {
   const char* title =
       "Figure 9: transactions, YCSB-T RMW, uniform, single shard";
   BenchWindows windows = BenchWindows::Default();
+  const std::vector<int> sweep = DefaultClientSweep();
+  ObsRig rig(obs_opts, 3 * sweep.size());
   std::vector<SweepCell> cells;
-  for (int n : DefaultClientSweep()) {
+  size_t slot = 0;
+  for (int n : sweep) {
+    obs::PointObs* po = rig.at(slot++);
     cells.push_back({"FaRM", [=] {
                        return RunFarmPoint(
                            n, 0.0, rdma::Backend::kHardwareNic, windows,
-                           900 + static_cast<uint64_t>(n));
+                           900 + static_cast<uint64_t>(n), po);
                      }});
   }
-  for (int n : DefaultClientSweep()) {
+  for (int n : sweep) {
+    obs::PointObs* po = rig.at(slot++);
     cells.push_back({"FaRM (software RDMA)", [=] {
                        return RunFarmPoint(
                            n, 0.0, rdma::Backend::kSoftwareStack, windows,
-                           910 + static_cast<uint64_t>(n));
+                           910 + static_cast<uint64_t>(n), po);
                      }});
   }
-  for (int n : DefaultClientSweep()) {
+  for (int n : sweep) {
+    obs::PointObs* po = rig.at(slot++);
     cells.push_back({"PRISM-TX", [=] {
                        return RunPrismTxPoint(
-                           n, 0.0, windows, 920 + static_cast<uint64_t>(n));
+                           n, 0.0, windows, 920 + static_cast<uint64_t>(n),
+                           po);
                      }});
   }
   FigureReporter reporter(bench_name, title);
@@ -160,35 +204,45 @@ inline void RunTxTputFigure(const char* bench_name, int jobs) {
     workload::PrintRow(cells[i].series, rows[i], buf);
   }
   reporter.WriteUnified();
+  rig.Finish(bench_name, cells);
 }
 
 // Figure 10: peak throughput vs Zipf coefficient, one cell per
 // (theta, system).
-inline void RunTxZipfFigure(const char* bench_name, int jobs) {
+inline void RunTxZipfFigure(const char* bench_name, int jobs,
+                            const ObsOptions& obs_opts = {}) {
   BenchWindows windows = BenchWindows::Default();
   const int kClients = FastMode() ? 96 : 192;  // near-peak load
   std::vector<double> thetas =
       FastMode() ? std::vector<double>{0.0, 0.9, 1.4}
                  : std::vector<double>{0.0, 0.3, 0.6, 0.8, 0.9, 0.99, 1.2,
                                        1.4, 1.6};
+  ObsRig rig(obs_opts, 3 * thetas.size());
   std::vector<SweepCell> cells;
+  size_t slot = 0;
   for (double theta : thetas) {
+    obs::PointObs* po_farm = rig.at(slot++);
     cells.push_back({"FaRM", [=] {
                        return RunFarmPoint(
                            kClients, theta, rdma::Backend::kHardwareNic,
-                           windows, 100 + static_cast<uint64_t>(theta * 10));
+                           windows, 100 + static_cast<uint64_t>(theta * 10),
+                           po_farm);
                      },
                      theta});
+    obs::PointObs* po_sw = rig.at(slot++);
     cells.push_back({"FaRM (software RDMA)", [=] {
                        return RunFarmPoint(
                            kClients, theta, rdma::Backend::kSoftwareStack,
-                           windows, 200 + static_cast<uint64_t>(theta * 10));
+                           windows, 200 + static_cast<uint64_t>(theta * 10),
+                           po_sw);
                      },
                      theta});
+    obs::PointObs* po_prism = rig.at(slot++);
     cells.push_back({"PRISM-TX", [=] {
                        return RunPrismTxPoint(
                            kClients, theta, windows,
-                           300 + static_cast<uint64_t>(theta * 10));
+                           300 + static_cast<uint64_t>(theta * 10),
+                           po_prism);
                      },
                      theta});
   }
@@ -214,6 +268,7 @@ inline void RunTxZipfFigure(const char* bench_name, int jobs) {
                 prism_point.tput_mops, prism_point.abort_rate * 100);
   }
   reporter.WriteUnified();
+  rig.Finish(bench_name, cells);
 }
 
 }  // namespace prism::bench

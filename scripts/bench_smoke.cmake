@@ -126,3 +126,89 @@ endforeach()
 
 message(STATUS
   "BENCH_figs.json OK: ${figs_key} entry valid with ${n_series} series")
+
+# ---- observability: --trace/--metrics run ----
+# Re-run the same driver with tracing and metrics on. Requirements:
+#  * stdout is byte-identical to the untraced run (minus the two obs status
+#    lines) — tracing must not perturb the replay or the printed tables;
+#  * the Chrome trace JSON parses and contains events;
+#  * the per-point metrics JSON parses with one entry per sweep cell;
+#  * the merged BENCH_figs.json entry carries the Table-1 complexity fields.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env PRISM_BENCH_FAST=1 ${FIGS_BIN} --jobs=2
+          --trace=results/trace_smoke.json --metrics
+  WORKING_DIRECTORY ${WORK_DIR}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE traced_out
+  ERROR_VARIABLE err
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "traced figure driver exited with ${rc}:\n${traced_out}\n${err}")
+endif()
+
+string(REGEX REPLACE "trace: [^\n]*\n" "" stripped "${traced_out}")
+string(REGEX REPLACE "metrics: [^\n]*\n" "" stripped "${stripped}")
+if(NOT out STREQUAL stripped)
+  message(FATAL_ERROR "tracing changed the driver's stdout:\n"
+          "--- untraced ---\n${out}\n--- traced (obs lines stripped) ---\n"
+          "${stripped}")
+endif()
+if(NOT traced_out MATCHES "trace: [0-9]+ spans")
+  message(FATAL_ERROR "traced run printed no trace status line:\n${traced_out}")
+endif()
+
+set(trace_path ${WORK_DIR}/results/trace_smoke.json)
+if(NOT EXISTS ${trace_path})
+  message(FATAL_ERROR "driver did not write ${trace_path}")
+endif()
+file(READ ${trace_path} trace)
+string(JSON n_events LENGTH "${trace}" traceEvents)
+if(n_events LESS_EQUAL 0)
+  message(FATAL_ERROR "trace has no events")
+endif()
+# At least one async begin event with a causal parent field.
+if(NOT trace MATCHES "\"ph\":\"b\"")
+  message(FATAL_ERROR "trace has no async begin events")
+endif()
+if(NOT trace MATCHES "\"parent\":")
+  message(FATAL_ERROR "trace spans carry no parent attribution")
+endif()
+
+set(metrics_path ${WORK_DIR}/results/METRICS_${figs_key}.json)
+if(NOT EXISTS ${metrics_path})
+  message(FATAL_ERROR "driver did not write ${metrics_path}")
+endif()
+file(READ ${metrics_path} metrics)
+string(JSON mbench GET "${metrics}" bench)
+if(NOT mbench STREQUAL ${figs_key})
+  message(FATAL_ERROR "unexpected bench '${mbench}' in ${metrics_path}")
+endif()
+string(JSON n_mpoints LENGTH "${metrics}" points)
+if(n_mpoints LESS_EQUAL 0)
+  message(FATAL_ERROR "metrics dump has no points")
+endif()
+string(JSON ignored GET "${metrics}" points 0 series)
+string(JSON n_mvals LENGTH "${metrics}" points 0 metrics)
+if(n_mvals LESS_EQUAL 0)
+  message(FATAL_ERROR "metrics dump point 0 has no metric values")
+endif()
+string(JSON ignored GET "${metrics}" points 0 metrics 0 component)
+string(JSON ignored GET "${metrics}" points 0 metrics 0 name)
+
+# Protocol-complexity fields merged into BENCH_figs.json (the traced run
+# rewrote the entry; the fields are emitted on every run regardless).
+file(READ ${figs_path} figs)
+string(JSON n_ops LENGTH "${figs}" ${figs_key} series 0 points 0 ops)
+if(n_ops LESS_EQUAL 0)
+  message(FATAL_ERROR "entry ${figs_key} carries no per-op complexity rows")
+endif()
+foreach(field op count round_trips messages bytes_out bytes_in cpu_actions
+              round_trips_per_op messages_per_op bytes_per_op
+              cpu_actions_per_op)
+  string(JSON ignored GET "${figs}" ${figs_key} series 0 points 0 ops 0
+         ${field})
+endforeach()
+
+message(STATUS "observability OK: stdout byte-identical under --trace, "
+  "${n_events} trace events, ${n_mpoints} metric points, complexity fields "
+  "present")

@@ -32,6 +32,12 @@ cmake --build build -j "$JOBS"
 echo "==> tier-1: ctest"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "==> obs: traced figure smoke (--trace/--metrics must not perturb)"
+(cd build && PRISM_BENCH_FAST=1 ./bench/fig2_topology --jobs=2 \
+    --trace=results/trace_check.json --metrics >/dev/null)
+test -s build/results/trace_check.json
+test -s build/results/METRICS_fig2_topology.json
+
 if [[ "$FAST" == 1 ]]; then
   echo "OK (fast: sanitizer pass skipped)"
   exit 0

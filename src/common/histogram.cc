@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <limits>
 
 #include "src/common/logging.h"
 
@@ -27,6 +28,12 @@ int64_t LatencyHistogram::BucketLower(size_t index) {
   if (index < kSubBuckets) return static_cast<int64_t>(index);
   size_t tier = index / kSubBuckets;  // >= 1; inverse of BucketFor:
   size_t sub = index % kSubBuckets;   // tier = exp-5, value = (64+sub)<<(exp-6)
+  // (64+sub) < 2^7, so the shifted value needs 7 + (tier-1) bits and spills
+  // past int64 once tier >= 58. Samples never land there (BucketFor caps at
+  // tier 57 for INT64_MAX), but quantile interpolation asks for the upper
+  // edge of the last sample bucket — saturate instead of shifting into the
+  // sign bit.
+  if (tier - 1 >= 57) return std::numeric_limits<int64_t>::max();
   return static_cast<int64_t>((kSubBuckets + sub) << (tier - 1));
 }
 
@@ -71,8 +78,10 @@ double LatencyHistogram::MeanNanos() const {
 
 int64_t LatencyHistogram::QuantileNanos(double q) const {
   if (count_ == 0) return 0;
+  if (std::isnan(q)) return max_;  // comparisons below would all be false
   if (q <= 0) return min_;
-  if (q >= 1) return max_;
+  if (q >= 1) return max_;  // p100 is exact, not interpolated
+  if (min_ == max_) return min_;  // single sample or constant stream
   const double target = q * static_cast<double>(count_);
   double seen = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
@@ -80,7 +89,12 @@ int64_t LatencyHistogram::QuantileNanos(double q) const {
     double next = seen + static_cast<double>(buckets_[i]);
     if (next >= target) {
       int64_t lo = BucketLower(i);
-      int64_t hi = (i + 1 < buckets_.size()) ? BucketLower(i + 1) : max_;
+      // Cap the bucket's upper edge at the observed maximum: tightens the
+      // estimate and keeps lo + frac*(hi-lo) inside int64 when BucketLower
+      // saturates (tier >= 58).
+      int64_t hi = (i + 1 < buckets_.size())
+                       ? std::min(BucketLower(i + 1), max_)
+                       : max_;
       double frac = (target - seen) / static_cast<double>(buckets_[i]);
       int64_t est = lo + static_cast<int64_t>(frac * static_cast<double>(hi - lo));
       return std::clamp(est, min_, max_);

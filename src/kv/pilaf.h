@@ -126,6 +126,11 @@ class PilafClient {
 
   uint64_t reads_issued() const { return reads_issued_; }
   uint64_t torn_retries() const { return torn_retries_; }
+  // Combined protocol-complexity tally over both transports
+  // (src/obs/complexity.h): one-sided READs for GETs, RPC for PUTs.
+  obs::TransportTally TransportTally() const {
+    return rdma_.tally() + rpc_.tally();
+  }
 
  private:
   net::Fabric* fabric_;

@@ -133,6 +133,8 @@ class PrismKvClient {
 
   // ---- stats ----
   uint64_t round_trips() const { return round_trips_; }
+  // Transport-level protocol-complexity tally (src/obs/complexity.h).
+  obs::TransportTally TransportTally() const { return prism_.tally(); }
   uint64_t cas_failures() const { return cas_failures_; }
   uint64_t probe_overflows() const { return probe_overflows_; }
 

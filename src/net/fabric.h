@@ -27,6 +27,7 @@
 
 #include "src/common/rng.h"
 #include "src/net/cost_model.h"
+#include "src/obs/obs.h"
 #include "src/sim/simulator.h"
 #include "src/sim/sync.h"
 
@@ -37,10 +38,28 @@ using HostId = uint32_t;
 class Fabric {
  public:
   Fabric(sim::Simulator* sim, CostModel model, uint64_t loss_seed = 0x10552)
-      : sim_(sim), model_(model), loss_rng_(loss_seed) {}
+      : sim_(sim), model_(model), loss_rng_(loss_seed) {
+    // Fabric and Simulator both outlive the hub's registry, so they report
+    // through a snapshot-time provider instead of owned slots.
+    obs_.metrics().AddProvider(
+        [this](obs::MetricsSnapshot& out) { CollectMetrics(out); });
+  }
 
   sim::Simulator* simulator() const { return sim_; }
   const CostModel& cost() const { return model_; }
+
+  // Per-simulation observability root (metrics registry, op accounting,
+  // optional span tracer). See src/obs/obs.h.
+  obs::Hub& obs() { return obs_; }
+  const obs::Hub& obs() const { return obs_; }
+
+  // Host names indexed by HostId, for trace process metadata.
+  std::vector<std::string> HostNames() const {
+    std::vector<std::string> names;
+    names.reserve(hosts_.size());
+    for (const auto& h : hosts_) names.push_back(h->name);
+    return names;
+  }
 
   // Fault injection (chaos schedules): changes apply to messages sent after
   // the mutation; frames already on the wire keep the costs they were
@@ -157,11 +176,16 @@ class Fabric {
   bool TryAttempt(HostId src, HostId dst, size_t payload_bytes,
                   Delivery& on_delivery, Dropped& on_dropped, int attempt) {
     constexpr bool kHasDropped = !std::is_same_v<Dropped, std::nullptr_t>;
+    obs::Tracer* const tracer = obs_.tracer();
     if (!At(src).up || !At(dst).up) {
       if constexpr (kHasDropped) {
         if (HasCallback(on_dropped)) sim_->Schedule(0, std::move(on_dropped));
       }
       dropped_messages_++;
+      if (tracer != nullptr) {
+        tracer->Instant("net.drop", "net", src, sim_->Now(),
+                        obs_.current_span());
+      }
       return true;
     }
     // A blocked (partitioned) link swallows every frame on the wire: the
@@ -189,6 +213,10 @@ class Fabric {
     if (model_.loss_probability > 0.0 &&
         loss_rng_.NextDouble() < model_.loss_probability) {
       lost_messages_++;
+      if (tracer != nullptr) {
+        tracer->Instant("net.loss", "net", src, sim_->Now(),
+                        obs_.current_span());
+      }
       if (attempt >= model_.max_retransmits) {
         if constexpr (kHasDropped) {
           if (HasCallback(on_dropped)) {
@@ -203,6 +231,11 @@ class Fabric {
     }
     const uint32_t dst_epoch = At(dst).epoch;
     if (src == dst) {
+      if (tracer != nullptr) {
+        tracer->EmitComplete("net.flight", "net", src, sim_->Now(),
+                             sim_->Now() + sim::Nanos(200),
+                             obs_.current_span());
+      }
       sim_->Schedule(sim::Nanos(200),
                      [this, dst, dst_epoch, cb = std::move(on_delivery)]() {
                        DeliverIfAlive(dst, dst_epoch, cb);
@@ -219,6 +252,13 @@ class Fabric {
     const sim::TimePoint ready =
         std::max(arrival, d.ingress_free + ser);
     d.ingress_free = ready;
+    // Cut-through timing is fully resolved at send time, so the flight span
+    // is emitted here as a closed interval — the delivery callback is never
+    // wrapped and the event stream is byte-identical with tracing off.
+    if (tracer != nullptr) {
+      tracer->EmitComplete("net.flight", "net", src, now, ready,
+                           obs_.current_span());
+    }
     sim_->ScheduleAt(ready,
                      [this, dst, dst_epoch, cb = std::move(on_delivery)]() {
                        DeliverIfAlive(dst, dst_epoch, cb);
@@ -246,6 +286,10 @@ class Fabric {
   }
 
   void Retry(std::unique_ptr<PendingSend> p) {
+    // A retransmit timer fires outside any span-propagation window: the
+    // current-span register belongs to whoever ran last, so flight spans of
+    // re-attempts are roots of their own chains.
+    obs_.SetCurrentSpan(0);
     // Tear down retransmit state targeting a dead incarnation: if the
     // destination crashed since the send was issued (even if it has since
     // restarted), the chain stops and the drop verdict fires.
@@ -301,9 +345,37 @@ class Fabric {
     return *hosts_[id];
   }
 
+  // Snapshot provider: fabric wire counters, per-host core-pool usage, and
+  // the engine's own event statistics (the hub is the one registry every
+  // layer can reach, so the simulator reports through it as well).
+  void CollectMetrics(obs::MetricsSnapshot& out) const {
+    out.AddCounterValue("net", "total_messages", "", total_messages_);
+    out.AddCounterValue("net", "dropped_messages", "", dropped_messages_);
+    out.AddCounterValue("net", "lost_messages", "", lost_messages_);
+    out.AddCounterValue("net", "retransmissions", "", retransmissions_);
+    out.AddCounterValue("net", "total_wire_bytes", "", total_wire_bytes_);
+    out.AddCounterValue("net", "purged_messages", "", purged_messages_);
+    out.AddCounterValue("net", "partitioned_messages", "",
+                        partitioned_messages_);
+    for (const auto& h : hosts_) {
+      out.AddCounterValue("net", "core_busy_ns", h->name,
+                          static_cast<uint64_t>(h->cores->total_busy()));
+      out.AddGaugeValue("net", "core_queue_depth", h->name,
+                        static_cast<int64_t>(h->cores->queue_length()));
+    }
+    const sim::Simulator::Stats& st = sim_->stats();
+    out.AddCounterValue("sim", "executed_events", "", sim_->executed_events());
+    out.AddCounterValue("sim", "zero_delay_events", "", st.zero_delay_events);
+    out.AddCounterValue("sim", "timer_events", "", st.timer_events);
+    out.AddCounterValue("sim", "overflow_events", "", st.overflow_events);
+    out.AddCounterValue("sim", "heap_callables", "", st.heap_callables);
+    out.AddCounterValue("sim", "pool_blocks", "", st.pool_blocks);
+  }
+
   sim::Simulator* sim_;
   CostModel model_;
   Rng loss_rng_;
+  obs::Hub obs_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::unordered_set<uint64_t> blocked_links_;  // directed src→dst pairs
   uint64_t total_messages_ = 0;

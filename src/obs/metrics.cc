@@ -1,0 +1,152 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace prism::obs {
+
+void MetricsSnapshot::AddCounterValue(std::string component, std::string name,
+                                      std::string host, uint64_t v) {
+  MetricValue m;
+  m.component = std::move(component);
+  m.name = std::move(name);
+  m.host = std::move(host);
+  m.kind = MetricValue::Kind::kCounter;
+  m.counter = v;
+  values.push_back(std::move(m));
+}
+
+void MetricsSnapshot::AddGaugeValue(std::string component, std::string name,
+                                    std::string host, int64_t v) {
+  MetricValue m;
+  m.component = std::move(component);
+  m.name = std::move(name);
+  m.host = std::move(host);
+  m.kind = MetricValue::Kind::kGauge;
+  m.gauge = v;
+  values.push_back(std::move(m));
+}
+
+void MetricsSnapshot::AddHistogramValue(std::string component,
+                                        std::string name, std::string host,
+                                        const LatencyHistogram& h) {
+  MetricValue m;
+  m.component = std::move(component);
+  m.name = std::move(name);
+  m.host = std::move(host);
+  m.kind = MetricValue::Kind::kHistogram;
+  m.count = h.count();
+  m.mean_ns = h.MeanNanos();
+  m.p50_ns = h.QuantileNanos(0.5);
+  m.p99_ns = h.QuantileNanos(0.99);
+  m.max_ns = h.MaxNanos();
+  values.push_back(std::move(m));
+}
+
+const MetricValue* MetricsSnapshot::Find(std::string_view component,
+                                         std::string_view name,
+                                         std::string_view host) const {
+  for (const MetricValue& m : values) {
+    if (m.component == component && m.name == name && m.host == host) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  char buf[160];
+  for (const MetricValue& m : values) {
+    const std::string key =
+        m.component + "." + m.name + (m.host.empty() ? "" : "[" + m.host + "]");
+    switch (m.kind) {
+      case MetricValue::Kind::kCounter:
+        std::snprintf(buf, sizeof(buf), "%-48s counter = %llu\n", key.c_str(),
+                      static_cast<unsigned long long>(m.counter));
+        break;
+      case MetricValue::Kind::kGauge:
+        std::snprintf(buf, sizeof(buf), "%-48s gauge   = %lld\n", key.c_str(),
+                      static_cast<long long>(m.gauge));
+        break;
+      case MetricValue::Kind::kHistogram:
+        std::snprintf(buf, sizeof(buf),
+                      "%-48s hist    n=%lld mean=%.0fns p50=%lldns "
+                      "p99=%lldns max=%lldns\n",
+                      key.c_str(), static_cast<long long>(m.count), m.mean_ns,
+                      static_cast<long long>(m.p50_ns),
+                      static_cast<long long>(m.p99_ns),
+                      static_cast<long long>(m.max_ns));
+        break;
+    }
+    out += buf;
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::AddCounter(std::string component, std::string name,
+                                     std::string host) {
+  if (!enabled_) return &sink_counter_;
+  slots_.push_back(Slot{std::move(component), std::move(name), std::move(host),
+                        MetricValue::Kind::kCounter, {}, {}, {}});
+  return &slots_.back().counter;
+}
+
+Gauge* MetricsRegistry::AddGauge(std::string component, std::string name,
+                                 std::string host) {
+  if (!enabled_) return &sink_gauge_;
+  slots_.push_back(Slot{std::move(component), std::move(name), std::move(host),
+                        MetricValue::Kind::kGauge, {}, {}, {}});
+  return &slots_.back().gauge;
+}
+
+HistogramMetric* MetricsRegistry::AddHistogram(std::string component,
+                                               std::string name,
+                                               std::string host) {
+  if (!enabled_) return &sink_hist_;
+  slots_.push_back(Slot{std::move(component), std::move(name), std::move(host),
+                        MetricValue::Kind::kHistogram, {}, {}, {}});
+  return &slots_.back().hist;
+}
+
+void MetricsRegistry::AddProvider(Provider p) {
+  if (!enabled_) return;
+  providers_.push_back(std::move(p));
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  if (!enabled_) return snap;
+  for (const Slot& s : slots_) {
+    switch (s.kind) {
+      case MetricValue::Kind::kCounter:
+        snap.AddCounterValue(s.component, s.name, s.host, s.counter.value());
+        break;
+      case MetricValue::Kind::kGauge:
+        snap.AddGaugeValue(s.component, s.name, s.host, s.gauge.value());
+        break;
+      case MetricValue::Kind::kHistogram:
+        snap.AddHistogramValue(s.component, s.name, s.host, s.hist.hist());
+        break;
+    }
+  }
+  for (const Provider& p : providers_) p(snap);
+  std::sort(snap.values.begin(), snap.values.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              if (a.component != b.component) return a.component < b.component;
+              if (a.name != b.name) return a.name < b.name;
+              return a.host < b.host;
+            });
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  for (Slot& s : slots_) {
+    s.counter.Reset();
+    s.gauge.Reset();
+    s.hist.Reset();
+  }
+}
+
+}  // namespace prism::obs

@@ -1,0 +1,163 @@
+// Metrics registry: counters, gauges and latency histograms keyed by
+// (component, name, host), owned per simulation by the fabric's obs::Hub.
+//
+// Two registration styles, chosen by lifetime:
+//  * Owned slots — a component calls AddCounter/AddGauge/AddHistogram at
+//    construction and increments the returned handle on its hot path. The
+//    registry owns the storage (stable addresses in a deque), so a
+//    component that dies before the snapshot leaves a frozen value behind
+//    instead of a dangling pointer.
+//  * Providers — callbacks that append values at snapshot time. Only for
+//    objects whose lifetime dominates the registry's (the Fabric itself,
+//    and the Simulator it was built over).
+//
+// Determinism: Snapshot() sorts by (component, name, host), so two
+// identical simulations produce byte-identical snapshots regardless of
+// registration interleavings or --jobs fan-out. SetEnabled(false) turns
+// subsequent Add* calls into handles onto shared sink slots (hot paths
+// still write, but to one dead cache line) and makes Snapshot() empty.
+#ifndef PRISM_SRC_OBS_METRICS_H_
+#define PRISM_SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/histogram.h"
+
+namespace prism::obs {
+
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { value_ = v; }
+  void Add(int64_t delta) { value_ += delta; }
+  int64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+class HistogramMetric {
+ public:
+  void Record(int64_t nanos) { hist_.Record(nanos); }
+  const LatencyHistogram& hist() const { return hist_; }
+  void Reset() { hist_.Reset(); }
+
+ private:
+  LatencyHistogram hist_;
+};
+
+// One flattened metric value inside a snapshot.
+struct MetricValue {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  std::string component;  // "sim", "net", "rpc", "rdma", "qp", "prism"
+  std::string name;
+  std::string host;  // host name, or "" for simulation-global metrics
+  Kind kind = Kind::kCounter;
+
+  uint64_t counter = 0;  // kCounter
+  int64_t gauge = 0;     // kGauge
+  // kHistogram digest (percentiles via LatencyHistogram::QuantileNanos).
+  int64_t count = 0;
+  double mean_ns = 0;
+  int64_t p50_ns = 0;
+  int64_t p99_ns = 0;
+  int64_t max_ns = 0;
+
+  friend bool operator==(const MetricValue& a, const MetricValue& b) {
+    return a.component == b.component && a.name == b.name &&
+           a.host == b.host && a.kind == b.kind && a.counter == b.counter &&
+           a.gauge == b.gauge && a.count == b.count && a.mean_ns == b.mean_ns &&
+           a.p50_ns == b.p50_ns && a.p99_ns == b.p99_ns && a.max_ns == b.max_ns;
+  }
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricValue> values;
+
+  // Append helpers used by providers (and by the registry itself).
+  void AddCounterValue(std::string component, std::string name,
+                       std::string host, uint64_t v);
+  void AddGaugeValue(std::string component, std::string name,
+                     std::string host, int64_t v);
+  void AddHistogramValue(std::string component, std::string name,
+                         std::string host, const LatencyHistogram& h);
+
+  // Finds a value by full key; nullptr when absent.
+  const MetricValue* Find(std::string_view component, std::string_view name,
+                          std::string_view host = "") const;
+
+  // One "component.name[host] kind = value" line per metric, for the chaos
+  // harness's failure dumps and debugging.
+  std::string ToText() const;
+
+  friend bool operator==(const MetricsSnapshot& a, const MetricsSnapshot& b) {
+    return a.values == b.values;
+  }
+};
+
+class MetricsRegistry {
+ public:
+  using Provider = std::function<void(MetricsSnapshot&)>;
+
+  // When disabled, Add* return shared sink handles and Snapshot() is empty.
+  // Flip before building the simulated world: already-registered slots keep
+  // reporting.
+  void SetEnabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  Counter* AddCounter(std::string component, std::string name,
+                      std::string host = "");
+  Gauge* AddGauge(std::string component, std::string name,
+                  std::string host = "");
+  HistogramMetric* AddHistogram(std::string component, std::string name,
+                                std::string host = "");
+  void AddProvider(Provider p);
+
+  // Owned slots plus provider output, sorted by (component, name, host).
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every owned slot (between sweep points reusing a world).
+  // Providers are live views and reset with their owning component.
+  void Reset();
+
+  size_t slot_count() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::string component;
+    std::string name;
+    std::string host;
+    MetricValue::Kind kind;
+    Counter counter;
+    Gauge gauge;
+    HistogramMetric hist;
+  };
+
+  // deque: stable addresses for handed-out handles.
+  std::deque<Slot> slots_;
+  std::vector<Provider> providers_;
+  bool enabled_ = true;
+
+  Counter sink_counter_;
+  Gauge sink_gauge_;
+  HistogramMetric sink_hist_;
+};
+
+}  // namespace prism::obs
+
+#endif  // PRISM_SRC_OBS_METRICS_H_

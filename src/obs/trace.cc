@@ -1,0 +1,180 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+namespace prism::obs {
+
+namespace {
+
+void AppendEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendTs(std::string& out, int64_t ns) {
+  // Microseconds with nanosecond fractions (Chrome's ts unit is µs).
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  out += buf;
+}
+
+void AppendHex(std::string& out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%llx", static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+// One async begin/end event.
+void AppendAsyncEvent(std::string& out, char ph, const SpanRecord& s,
+                      int64_t ts_ns) {
+  out += "{\"ph\":\"";
+  out += ph;
+  out += "\",\"cat\":\"";
+  AppendEscaped(out, s.cat);
+  out += "\",\"name\":\"";
+  AppendEscaped(out, s.name);
+  out += "\",\"id\":\"";
+  AppendHex(out, s.root);
+  out += "\",\"pid\":";
+  out += std::to_string(s.host);
+  out += ",\"tid\":0,\"ts\":";
+  AppendTs(out, ts_ns);
+  if (ph == 'b') {
+    out += ",\"args\":{\"span\":\"";
+    AppendHex(out, s.id);
+    out += "\",\"parent\":\"";
+    AppendHex(out, s.parent);
+    out += "\"}";
+  }
+  out += "}";
+}
+
+}  // namespace
+
+SpanId Tracer::Begin(std::string_view name, std::string_view cat,
+                     uint32_t host, int64_t now_ns, SpanId parent) {
+  SpanRecord rec;
+  rec.id = next_id_++;
+  rec.parent = parent;
+  rec.root = rec.id;
+  if (parent != 0) {
+    auto it = open_.find(parent);
+    if (it != open_.end()) rec.root = it->second.root;
+  }
+  rec.name = std::string(name);
+  rec.cat = std::string(cat);
+  rec.host = host;
+  rec.start_ns = now_ns;
+  const SpanId id = rec.id;
+  open_.emplace(id, std::move(rec));
+  return id;
+}
+
+void Tracer::End(SpanId id, int64_t now_ns) {
+  auto it = open_.find(id);
+  if (it == open_.end()) return;  // already ended, or never begun
+  SpanRecord rec = std::move(it->second);
+  open_.erase(it);
+  rec.end_ns = now_ns;
+  done_.push_back(std::move(rec));
+  if (done_.size() > cap_) {
+    done_.pop_front();
+    dropped_++;
+  }
+}
+
+SpanId Tracer::EmitComplete(std::string_view name, std::string_view cat,
+                            uint32_t host, int64_t start_ns, int64_t end_ns,
+                            SpanId parent) {
+  SpanRecord rec;
+  rec.id = next_id_++;
+  rec.parent = parent;
+  rec.root = rec.id;
+  if (parent != 0) {
+    auto it = open_.find(parent);
+    if (it != open_.end()) rec.root = it->second.root;
+  }
+  rec.name = std::string(name);
+  rec.cat = std::string(cat);
+  rec.host = host;
+  rec.start_ns = start_ns;
+  rec.end_ns = end_ns;
+  const SpanId id = rec.id;
+  done_.push_back(std::move(rec));
+  if (done_.size() > cap_) {
+    done_.pop_front();
+    dropped_++;
+  }
+  return id;
+}
+
+SpanId Tracer::ParentOf(SpanId id) const {
+  auto it = open_.find(id);
+  return it == open_.end() ? 0 : it->second.parent;
+}
+
+std::string Tracer::ToChromeJson(
+    const std::vector<std::string>& host_names) const {
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  for (size_t h = 0; h < host_names.size(); ++h) {
+    comma();
+    out += "{\"ph\":\"M\",\"pid\":" + std::to_string(h) +
+           ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"";
+    AppendEscaped(out, host_names[h]);
+    out += "\"}}";
+  }
+  auto emit_span = [&](const SpanRecord& s, int64_t end_ns) {
+    comma();
+    AppendAsyncEvent(out, 'b', s, s.start_ns);
+    comma();
+    AppendAsyncEvent(out, 'e', s, end_ns);
+  };
+  for (const SpanRecord& s : done_) emit_span(s, s.end_ns);
+  // Flush still-open spans as zero-length so the file is self-contained
+  // (std::map iteration keeps this deterministic).
+  for (const auto& [id, s] : open_) emit_span(s, s.start_ns);
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::WriteChromeJson(const std::string& path,
+                             const std::vector<std::string>& host_names) const {
+  std::filesystem::path p(path);
+  std::error_code ec;
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "Tracer: cannot open %s\n", path.c_str());
+    return false;
+  }
+  f << ToChromeJson(host_names);
+  return f.good();
+}
+
+}  // namespace prism::obs

@@ -67,6 +67,13 @@ class PrismServer {
         executor_(mem, &freelists_),
         nic_pipeline_(fabric->simulator(), fabric->cost().nic_pipeline_units),
         bf_cores_(fabric->simulator(), fabric->cost().bf_cores) {
+    obs::MetricsRegistry& m = fabric->obs().metrics();
+    const std::string& hn = fabric->HostName(host);
+    chains_metric_ = m.AddCounter("prism", "chains_executed", hn);
+    ops_metric_ = m.AddCounter("prism", "ops_executed", hn);
+    host_reads_metric_ = m.AddCounter("prism", "host_reads", hn);
+    host_writes_metric_ = m.AddCounter("prism", "host_writes", hn);
+    on_nic_metric_ = m.AddCounter("prism", "on_nic_accesses", hn);
     auto region = mem->CarveAndRegister(kOnNicBytes, rdma::kRemoteAll,
                                         rdma::kOnNic);
     PRISM_CHECK(region.ok()) << region.status();
@@ -158,6 +165,10 @@ class PrismServer {
   // Executes the chain with deployment-specific timing; fills *results.
   sim::Task<void> RunChain(std::shared_ptr<const Chain> chain,
                            std::shared_ptr<ChainResult> results) {
+    // Entered synchronously from the request-delivery event; the register
+    // still holds the issuing client's prism.execute span.
+    const obs::SpanId span = fabric_->obs().StartSpan(
+        "prism.chain", "prism", host_, fabric_->simulator()->Now());
     const net::CostModel& c = fabric_->cost();
     ++in_flight_;
     const uint64_t chain_id = next_chain_id_++;
@@ -191,9 +202,11 @@ class PrismServer {
       }
     }
     chains_executed_++;
+    chains_metric_->Add();
     --in_flight_;
     active_chains_.erase(chain_id);
     FlushPendingPosts();
+    fabric_->obs().FinishSpan(span, fabric_->simulator()->Now());
   }
 
   sim::Task<void> ExecuteOps(std::shared_ptr<const Chain> chain,
@@ -205,6 +218,11 @@ class PrismServer {
       co_await sim::SleepFor(fabric_->simulator(), OpCost(op));
       results->push_back(executor_.ExecuteOne(op, ctx));
       ops_executed_++;
+      ops_metric_->Add();
+      const AccessProfile p = executor_.Profile(op);
+      host_reads_metric_->Add(p.host_reads);
+      host_writes_metric_->Add(p.host_writes);
+      on_nic_metric_->Add(p.on_nic);
     }
   }
 
@@ -237,6 +255,12 @@ class PrismServer {
     std::vector<rdma::Addr> buffers;
   };
 
+  obs::Counter* chains_metric_ = nullptr;
+  obs::Counter* ops_metric_ = nullptr;
+  obs::Counter* host_reads_metric_ = nullptr;
+  obs::Counter* host_writes_metric_ = nullptr;
+  obs::Counter* on_nic_metric_ = nullptr;
+
   int in_flight_ = 0;
   uint64_t next_chain_id_ = 0;
   std::set<uint64_t> active_chains_;
@@ -256,23 +280,43 @@ class PrismClient {
 
   // Executes a chain in one round trip. The ChainResult has one entry per op
   // (skipped conditional ops are marked executed=false).
+  // Protocol-complexity tally across every chain issued by this client
+  // (see src/obs/complexity.h for the counting rules).
+  const obs::TransportTally& tally() const { return tally_; }
+
   sim::Task<Result<ChainResult>> Execute(PrismServer* server, Chain chain) {
     auto state = std::make_shared<OpState>(fabric_->simulator(),
                                            TimedOut("prism chain"));
+    state->span = fabric_->obs().StartSpan("prism.execute", "prism", self_,
+                                           fabric_->simulator()->Now());
     auto chain_ptr = std::make_shared<const Chain>(std::move(chain));
     co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().client_post);
     const size_t req_payload = EncodedChainSize(*chain_ptr);
+    tally_.messages++;
+    tally_.bytes_out += req_payload;
+    // SW and BlueField chains burn a (server or SmartNIC) core; the
+    // projected-hardware ASIC is CPU-free like a one-sided verb.
+    if (server->deployment() != Deployment::kHardwareProjected) {
+      tally_.cpu_actions++;
+    }
+    fabric_->obs().SetCurrentSpan(state->span);
     fabric_->Send(
         self_, server->host(), req_payload,
         [this, server, chain_ptr = std::move(chain_ptr), state] {
+          fabric_->obs().SetCurrentSpan(state->span);
           sim::Spawn([this, server, chain_ptr, state]() -> sim::Task<void> {
             auto results = std::make_shared<ChainResult>();
             co_await server->RunChain(chain_ptr, results);
             const size_t resp_bytes = ActualResponseSize(*chain_ptr,
                                                          *results);
             state->result = std::move(*results);
+            state->resp_bytes = resp_bytes;
+            fabric_->obs().SetCurrentSpan(state->span);
             fabric_->Send(server->host(), self_, resp_bytes, [state] {
-              if (!state->done.is_set()) state->done.Set();
+              if (!state->done.is_set()) {
+                state->responded = true;
+                state->done.Set();
+              }
             });
           });
         },
@@ -282,6 +326,11 @@ class PrismClient {
     });
     co_await state->done.Wait();
     co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().completion);
+    if (state->responded) {
+      tally_.round_trips++;
+      tally_.bytes_in += state->resp_bytes;
+    }
+    fabric_->obs().FinishSpan(state->span, fabric_->simulator()->Now());
     co_return std::move(state->result);
   }
 
@@ -301,6 +350,9 @@ class PrismClient {
         : done(sim), result(std::move(pending)) {}
     sim::Event done;
     Result<ChainResult> result;
+    obs::SpanId span = 0;
+    size_t resp_bytes = 0;
+    bool responded = false;
     void Finish(Status s) {
       if (!done.is_set()) {
         result = std::move(s);
@@ -311,6 +363,7 @@ class PrismClient {
 
   net::Fabric* fabric_;
   net::HostId self_;
+  obs::TransportTally tally_;
 };
 
 }  // namespace prism::core

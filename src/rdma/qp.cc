@@ -12,6 +12,7 @@ sim::Task<Status> QueuePair::Send(Bytes data) {
   auto payload = std::make_shared<Bytes>(std::move(data));
   for (int attempt = 0; attempt <= kRnrRetries; ++attempt) {
     state->Reset();
+    sends_metric_->Add();
     QueuePair* peer = peer_;
     net::Fabric* fabric = fabric_;
     const uint32_t src_qp = qp_number_;
@@ -44,6 +45,7 @@ sim::Task<Status> QueuePair::Send(Bytes data) {
     if (state->result.code() != Code::kResourceExhausted) {
       co_return state->result;  // delivered, or a non-retryable failure
     }
+    rnr_metric_->Add();
     // RNR: wait for the receiver to post buffers, then retry (the standard
     // RNR-retry flow; ALLOCATE inherits exactly this behaviour, §4.2).
     co_await sim::SleepFor(fabric_->simulator(), kRnrDelay);

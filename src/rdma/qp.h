@@ -94,7 +94,11 @@ class QueuePair {
         host_(host),
         qp_number_(qp_number),
         rq_(rq),
-        completions_(fabric->simulator()) {}
+        completions_(fabric->simulator()),
+        sends_metric_(fabric->obs().metrics().AddCounter(
+            "qp", "sends", fabric->HostName(host))),
+        rnr_metric_(fabric->obs().metrics().AddCounter(
+            "qp", "rnr_nacks", fabric->HostName(host))) {}
 
   void Connect(QueuePair* peer) { peer_ = peer; }
 
@@ -144,6 +148,8 @@ class QueuePair {
   ReceiveQueue* rq_;
   QueuePair* peer_ = nullptr;
   sim::Channel<RecvCompletion> completions_;
+  obs::Counter* sends_metric_;
+  obs::Counter* rnr_metric_;
 };
 
 }  // namespace prism::rdma

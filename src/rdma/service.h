@@ -46,8 +46,9 @@ class RdmaService {
         host_(host),
         backend_(backend),
         mem_(mem),
-        nic_pipeline_(fabric->simulator(), fabric->cost().nic_pipeline_units) {
-  }
+        nic_pipeline_(fabric->simulator(), fabric->cost().nic_pipeline_units),
+        ops_metric_(fabric->obs().metrics().AddCounter(
+            "rdma", "server_ops", fabric->HostName(host))) {}
 
   net::HostId host() const { return host_; }
   Backend backend() const { return backend_; }
@@ -58,6 +59,10 @@ class RdmaService {
   // the hardware backend, ring DMA + a dedicated core on the software one.
   // The caller performs the memory effect after this resumes.
   sim::Task<void> ServerPath(sim::Duration memory_cost) {
+    // Entered synchronously from the request-delivery event; the register
+    // still holds the issuing client's verb span.
+    const obs::SpanId span = fabric_->obs().StartSpan(
+        "rdma.server", "rdma", host_, fabric_->simulator()->Now());
     const net::CostModel& c = fabric_->cost();
     if (backend_ == Backend::kHardwareNic) {
       co_await nic_pipeline_.Use(c.nic_process);
@@ -69,6 +74,8 @@ class RdmaService {
       co_await sim::SleepFor(fabric_->simulator(), c.sw_tx);
     }
     ops_executed_++;
+    ops_metric_->Add();
+    fabric_->obs().FinishSpan(span, fabric_->simulator()->Now());
   }
 
  private:
@@ -77,6 +84,7 @@ class RdmaService {
   Backend backend_;
   AddressSpace* mem_;
   sim::ServiceQueue nic_pipeline_;
+  obs::Counter* ops_metric_;
   uint64_t ops_executed_ = 0;
 };
 
@@ -87,6 +95,10 @@ class RdmaClient {
 
   net::HostId host() const { return self_; }
 
+  // Protocol-complexity tally across every verb issued by this client
+  // (see src/obs/complexity.h for the counting rules).
+  const obs::TransportTally& tally() const { return tally_; }
+
   // Deadline for an op before it completes kTimedOut (models RC transport
   // retry exhaustion, compressed to keep failure tests fast).
   static constexpr sim::Duration kOpTimeout = sim::Millis(5);
@@ -95,10 +107,14 @@ class RdmaClient {
                                 uint64_t len) {
     auto state = std::make_shared<OpState<Bytes>>(fabric_->simulator(),
                                                   TimedOut("rdma read"));
+    state->span = fabric_->obs().StartSpan("rdma.read", "rdma", self_,
+                                           fabric_->simulator()->Now());
     co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().client_post);
+    PreSend(svc, state, 16);
     fabric_->Send(
         self_, svc->host(), /*payload=*/16,
         [this, svc, rkey, addr, len, state] {
+          fabric_->obs().SetCurrentSpan(state->span);
           sim::Spawn([this, svc, rkey, addr, len, state]() -> sim::Task<void> {
             co_await svc->ServerPath(fabric_->cost().pcie_read_rtt);
             state->result = Verbs::Read(svc->memory(), rkey, addr, len);
@@ -114,12 +130,16 @@ class RdmaClient {
   sim::Task<Status> Write(RdmaService* svc, RKey rkey, Addr addr, Bytes data) {
     auto state = std::make_shared<OpState<Bytes>>(fabric_->simulator(),
                                                   TimedOut("rdma write"));
+    state->span = fabric_->obs().StartSpan("rdma.write", "rdma", self_,
+                                           fabric_->simulator()->Now());
     co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().client_post);
     const size_t req_payload = 16 + data.size();
     auto payload = std::make_shared<Bytes>(std::move(data));
+    PreSend(svc, state, req_payload);
     fabric_->Send(
         self_, svc->host(), req_payload,
         [this, svc, rkey, addr, payload = std::move(payload), state] {
+          fabric_->obs().SetCurrentSpan(state->span);
           sim::Spawn([this, svc, rkey, addr, payload,
                       state]() -> sim::Task<void> {
             co_await svc->ServerPath(fabric_->cost().pcie_write);
@@ -142,10 +162,14 @@ class RdmaClient {
                                           uint64_t swap) {
     auto state = std::make_shared<OpState<uint64_t>>(fabric_->simulator(),
                                                      TimedOut("rdma cas"));
+    state->span = fabric_->obs().StartSpan("rdma.cas", "rdma", self_,
+                                           fabric_->simulator()->Now());
     co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().client_post);
+    PreSend(svc, state, 32);
     fabric_->Send(
         self_, svc->host(), /*payload=*/32,
         [this, svc, rkey, addr, compare, swap, state] {
+          fabric_->obs().SetCurrentSpan(state->span);
           sim::Spawn([this, svc, rkey, addr, compare, swap,
                       state]() -> sim::Task<void> {
             const net::CostModel& cost = fabric_->cost();
@@ -165,10 +189,14 @@ class RdmaClient {
                                        uint64_t delta) {
     auto state = std::make_shared<OpState<uint64_t>>(fabric_->simulator(),
                                                      TimedOut("rdma faa"));
+    state->span = fabric_->obs().StartSpan("rdma.faa", "rdma", self_,
+                                           fabric_->simulator()->Now());
     co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().client_post);
+    PreSend(svc, state, 24);
     fabric_->Send(
         self_, svc->host(), /*payload=*/24,
         [this, svc, rkey, addr, delta, state] {
+          fabric_->obs().SetCurrentSpan(state->span);
           sim::Spawn(
               [this, svc, rkey, addr, delta, state]() -> sim::Task<void> {
                 const net::CostModel& cost = fabric_->cost();
@@ -191,6 +219,8 @@ class RdmaClient {
       Bytes swap_mask, CasCompare mode = CasCompare::kEqual) {
     auto state = std::make_shared<OpState<CasOutcome>>(
         fabric_->simulator(), TimedOut("rdma masked cas"));
+    state->span = fabric_->obs().StartSpan("rdma.masked_cas", "rdma", self_,
+                                           fabric_->simulator()->Now());
     co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().client_post);
     const size_t req_payload = 16 + 3 * data.size();
     const size_t width = data.size();
@@ -200,9 +230,11 @@ class RdmaClient {
     auto args = std::make_shared<Args>(Args{std::move(data),
                                             std::move(cmp_mask),
                                             std::move(swap_mask)});
+    PreSend(svc, state, req_payload);
     fabric_->Send(
         self_, svc->host(), req_payload,
         [this, svc, rkey, addr, args = std::move(args), mode, state, width] {
+          fabric_->obs().SetCurrentSpan(state->span);
           sim::Spawn([this, svc, rkey, addr, args, mode, state,
                       width]() -> sim::Task<void> {
             const net::CostModel& cost = fabric_->cost();
@@ -226,6 +258,9 @@ class RdmaClient {
         : done(sim), result(std::move(pending)) {}
     sim::Event done;
     Result<T> result;
+    obs::SpanId span = 0;
+    size_t resp_bytes = 0;
+    bool responded = false;
     void Finish(Status s) {
       if (!done.is_set()) {
         result = std::move(s);
@@ -234,11 +269,28 @@ class RdmaClient {
     }
   };
 
+  // Request-side accounting shared by every verb, applied just before the
+  // fabric Send: one logical message out, a CPU action when the far side is
+  // software RDMA, and the current-span register primed for the flight span.
+  template <typename T>
+  void PreSend(RdmaService* svc, const std::shared_ptr<OpState<T>>& state,
+               size_t req_bytes) {
+    tally_.messages++;
+    tally_.bytes_out += req_bytes;
+    if (svc->backend() == Backend::kSoftwareStack) tally_.cpu_actions++;
+    fabric_->obs().SetCurrentSpan(state->span);
+  }
+
   template <typename T>
   void Respond(RdmaService* svc, std::shared_ptr<OpState<T>> state,
                size_t payload) {
+    state->resp_bytes = payload;
+    fabric_->obs().SetCurrentSpan(state->span);
     fabric_->Send(svc->host(), self_, payload, [state] {
-      if (!state->done.is_set()) state->done.Set();
+      if (!state->done.is_set()) {
+        state->responded = true;
+        state->done.Set();
+      }
     });
   }
 
@@ -250,11 +302,17 @@ class RdmaClient {
     });
     co_await state->done.Wait();
     co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().completion);
+    if (state->responded) {
+      tally_.round_trips++;
+      tally_.bytes_in += state->resp_bytes;
+    }
+    fabric_->obs().FinishSpan(state->span, fabric_->simulator()->Now());
     co_return std::move(state->result);
   }
 
   net::Fabric* fabric_;
   net::HostId self_;
+  obs::TransportTally tally_;
 };
 
 }  // namespace prism::rdma

@@ -79,7 +79,10 @@ class RpcServer {
   using Handler = std::function<sim::Task<MessagePtr>(const Message&)>;
 
   RpcServer(net::Fabric* fabric, net::HostId host)
-      : fabric_(fabric), host_(host) {}
+      : fabric_(fabric),
+        host_(host),
+        served_metric_(fabric->obs().metrics().AddCounter(
+            "rpc", "calls_served", fabric->HostName(host))) {}
 
   void Register(MethodId method, Handler handler) {
     PRISM_CHECK(handlers_.emplace(method, std::move(handler)).second)
@@ -93,6 +96,10 @@ class RpcServer {
   friend class RpcClient;
 
   sim::Task<MessagePtr> Serve(MethodId method, MessagePtr request) {
+    // Entered synchronously from the request-delivery event, so the hub's
+    // current-span register still holds the caller's rpc.call span.
+    const obs::SpanId span = fabric_->obs().StartSpan(
+        "rpc.serve", "rpc", host_, fabric_->simulator()->Now());
     const net::CostModel& c = fabric_->cost();
     co_await sim::SleepFor(fabric_->simulator(), c.sw_ring_dma);
     sim::ServiceQueue& cores = fabric_->Cores(host_);
@@ -109,11 +116,14 @@ class RpcServer {
     cores.Release();
     co_await sim::SleepFor(fabric_->simulator(), c.sw_tx);
     calls_served_++;
+    served_metric_->Add();
+    fabric_->obs().FinishSpan(span, fabric_->simulator()->Now());
     co_return response;
   }
 
   net::Fabric* fabric_;
   net::HostId host_;
+  obs::Counter* served_metric_;
   std::unordered_map<MethodId, Handler> handlers_;
   uint64_t calls_served_ = 0;
 };
@@ -127,21 +137,37 @@ class RpcClient {
 
   static constexpr sim::Duration kRpcTimeout = sim::Millis(5);
 
+  // Protocol-complexity tally across every Call issued by this client
+  // (see src/obs/complexity.h for the counting rules).
+  const obs::TransportTally& tally() const { return tally_; }
+
   sim::Task<Result<MessagePtr>> Call(RpcServer* server, MethodId method,
                                      MessagePtr request_ptr) {
     auto state = std::make_shared<CallState>(fabric_->simulator());
+    state->span = fabric_->obs().StartSpan("rpc.call", "rpc", self_,
+                                           fabric_->simulator()->Now());
     co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().client_post);
     const size_t req_wire = request_ptr->wire_bytes();
+    tally_.messages++;
+    tally_.bytes_out += req_wire;
+    tally_.cpu_actions++;  // every RPC consumes a server core
+    fabric_->obs().SetCurrentSpan(state->span);
     fabric_->Send(
         self_, server->host(), req_wire,
         [this, server, method, request_ptr = std::move(request_ptr), state] {
+          fabric_->obs().SetCurrentSpan(state->span);
           sim::Spawn([this, server, method, request_ptr,
                       state]() -> sim::Task<void> {
             MessagePtr response = co_await server->Serve(method, request_ptr);
             const size_t resp_wire = response ? response->wire_bytes() : 0;
             state->response = std::move(response);
+            state->resp_bytes = resp_wire;
+            fabric_->obs().SetCurrentSpan(state->span);
             fabric_->Send(server->host(), self_, resp_wire, [state] {
-              if (!state->done.is_set()) state->done.Set();
+              if (!state->done.is_set()) {
+                state->responded = true;
+                state->done.Set();
+              }
             });
           });
         },
@@ -151,6 +177,11 @@ class RpcClient {
     });
     co_await state->done.Wait();
     co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().completion);
+    if (state->responded) {
+      tally_.round_trips++;
+      tally_.bytes_in += state->resp_bytes;
+    }
+    fabric_->obs().FinishSpan(state->span, fabric_->simulator()->Now());
     if (!state->error.ok()) co_return state->error;
     co_return std::move(state->response);
   }
@@ -161,6 +192,9 @@ class RpcClient {
     sim::Event done;
     MessagePtr response;
     Status error;
+    obs::SpanId span = 0;
+    size_t resp_bytes = 0;
+    bool responded = false;
     void Finish(Status s) {
       if (!done.is_set()) {
         error = std::move(s);
@@ -171,6 +205,7 @@ class RpcClient {
 
   net::Fabric* fabric_;
   net::HostId self_;
+  obs::TransportTally tally_;
 };
 
 }  // namespace prism::rpc

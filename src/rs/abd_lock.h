@@ -81,6 +81,8 @@ class AbdLockClient {
 
   uint64_t lock_conflicts() const { return lock_conflicts_; }
   uint64_t round_trips() const { return round_trips_; }
+  // Transport-level protocol-complexity tally (src/obs/complexity.h).
+  obs::TransportTally TransportTally() const { return rdma_.tally(); }
 
   // Failure injection for tests: acquire locks and "crash" (never release).
   sim::Task<Status> AcquireAndAbandon(uint64_t block);

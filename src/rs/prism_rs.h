@@ -141,6 +141,8 @@ class PrismRsClient {
   void set_history(check::HistoryRecorder* history) { history_ = history; }
 
   uint64_t round_trips() const { return round_trips_; }
+  // Transport-level protocol-complexity tally (src/obs/complexity.h).
+  obs::TransportTally TransportTally() const { return prism_.tally(); }
   uint64_t writebacks_skipped() const { return writebacks_skipped_; }
 
  private:

@@ -129,6 +129,11 @@ class FarmClient {
 
   uint64_t commits() const { return commits_; }
   uint64_t aborts() const { return aborts_; }
+  // Combined protocol-complexity tally over both transports
+  // (src/obs/complexity.h).
+  obs::TransportTally TransportTally() const {
+    return rdma_.tally() + rpc_.tally();
+  }
 
  private:
   net::Fabric* fabric_;

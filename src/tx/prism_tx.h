@@ -166,6 +166,8 @@ class PrismTxClient {
 
   uint64_t commits() const { return commits_; }
   uint64_t aborts() const { return aborts_; }
+  // Transport-level protocol-complexity tally (src/obs/complexity.h).
+  obs::TransportTally TransportTally() const { return prism_.tally(); }
 
  private:
   struct WritePrep {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/common/histogram.h"
+#include "src/obs/complexity.h"
 #include "src/sim/simulator.h"
 #include "src/sim/time.h"
 
@@ -70,6 +71,9 @@ struct LoadPoint {
   double p99_us = 0;
   double abort_rate = 0;  // aborts / (completions + aborts); OCC benches
   uint64_t sim_events = 0;  // engine events executed by this point's sim
+  // Per-op-type protocol-complexity aggregates (Table 1 accounting) for the
+  // point's whole simulation; harvested from the fabric hub's OpAccountant.
+  std::vector<obs::OpStats> ops;
 };
 
 inline LoadPoint MakeLoadPoint(int clients, const Recorder& recorder) {

@@ -27,6 +27,7 @@
 #include "src/common/rng.h"
 #include "src/harness/sweep.h"
 #include "src/kv/prism_kv.h"
+#include "src/obs/obs.h"
 #include "src/rs/prism_rs.h"
 #include "src/sim/task.h"
 #include "src/tx/prism_tx.h"
@@ -39,6 +40,13 @@ int64_t g_replay_seed = -1;
 
 // Set by --jobs=N: worker threads for the sweep (0 = DefaultJobs()).
 int g_chaos_jobs = 0;
+
+// Set by --trace=<path> / --metrics: observability dumps. Each seed runs
+// with its own tracer (worker threads never share obs state); the dump is
+// written only for a failing seed — or unconditionally in --seed=N replay —
+// so the 100-seed sweep stays cheap and its pass/fail output unchanged.
+std::string g_chaos_trace_path;
+bool g_chaos_metrics = false;
 
 namespace {
 
@@ -67,6 +75,8 @@ struct SeedRun {
   check::CheckResult check;
   std::string schedule;     // ChaosMonkey::Describe() for the log
   int faults = 0;           // total fault events injected
+  std::string metrics;      // --metrics: snapshot text (failure or replay)
+  std::string trace_path;   // --trace: where this seed's trace was written
 };
 
 std::string ReplayBanner(const char* test, uint64_t seed, const SeedRun& r) {
@@ -74,8 +84,44 @@ std::string ReplayBanner(const char* test, uint64_t seed, const SeedRun& r) {
   os << "chaos seed " << seed << " — replay with:\n    chaos_test --seed="
      << seed << " --gtest_filter=ChaosSweep." << test << "\n"
      << r.schedule;
+  if (!r.trace_path.empty()) os << "trace written to " << r.trace_path << "\n";
+  if (!r.metrics.empty()) os << "metrics at failure:\n" << r.metrics;
   return os.str();
 }
+
+// Per-seed observability rig for --trace / --metrics. Attach() arms the
+// fabric's hub with a tracer local to this seed's simulation; Harvest()
+// captures the metric snapshot and writes the trace for a failing seed (or
+// always under --seed=N replay). Tracing must not perturb the run — the
+// fault schedule and checker verdict are identical with or without it
+// (obs_determinism_test holds the bench side to the same bar).
+struct SeedObs {
+  obs::Tracer tracer;
+
+  void Attach(net::Fabric& fabric) {
+    if (!g_chaos_trace_path.empty()) fabric.obs().SetTracer(&tracer);
+  }
+
+  void Harvest(net::Fabric& fabric, uint64_t seed, SeedRun* r) {
+    const bool dump = r->hang || !r->check.ok || g_replay_seed >= 0;
+    if (!dump) return;
+    if (g_chaos_metrics) {
+      r->metrics = fabric.obs().metrics().Snapshot().ToText();
+    }
+    if (!g_chaos_trace_path.empty()) {
+      std::string path = g_chaos_trace_path;
+      const std::string kExt = ".json";
+      if (path.size() >= kExt.size() &&
+          path.compare(path.size() - kExt.size(), kExt.size(), kExt) == 0) {
+        path.resize(path.size() - kExt.size());
+      }
+      path += ".seed" + std::to_string(seed) + ".json";
+      if (tracer.WriteChromeJson(path, fabric.HostNames())) {
+        r->trace_path = path;
+      }
+    }
+  }
+};
 
 int InjectedFaults(const chaos::ChaosMonkey& m) {
   return m.crashes_injected() + m.partitions_injected() +
@@ -97,6 +143,8 @@ SeedRun RunRsSeed(uint64_t seed) {
   sim::Simulator sim;
   net::Fabric fabric(&sim, net::CostModel::EvalCluster40G(),
                      /*loss_seed=*/seed);
+  SeedObs sobs;
+  sobs.Attach(fabric);
   rs::PrismRsOptions opts;
   opts.n_blocks = kBlocks;
   opts.block_size = kBlockSize;
@@ -150,6 +198,7 @@ SeedRun RunRsSeed(uint64_t seed) {
   r.faults = InjectedFaults(monkey);
   r.check = check::CheckLinearizable(history.ops(),
                                      check::IdOf(Bytes(kBlockSize, 0)));
+  sobs.Harvest(fabric, seed, &r);
   return r;
 }
 
@@ -166,6 +215,8 @@ SeedRun RunKvSeed(uint64_t seed) {
   sim::Simulator sim;
   net::Fabric fabric(&sim, net::CostModel::EvalCluster40G(),
                      /*loss_seed=*/seed);
+  SeedObs sobs;
+  sobs.Attach(fabric);
   net::HostId server_host = fabric.AddHost("server");  // host 0
   kv::PrismKvOptions opts;
   opts.n_buckets = 64;
@@ -220,6 +271,7 @@ SeedRun RunKvSeed(uint64_t seed) {
   r.schedule = monkey.Describe();
   r.faults = InjectedFaults(monkey);
   r.check = check::CheckLinearizable(history.ops(), check::kAbsent);
+  sobs.Harvest(fabric, seed, &r);
   return r;
 }
 
@@ -237,6 +289,8 @@ SeedRun RunTxSeed(uint64_t seed) {
   sim::Simulator sim;
   net::Fabric fabric(&sim, net::CostModel::EvalCluster40G(),
                      /*loss_seed=*/seed);
+  SeedObs sobs;
+  sobs.Attach(fabric);
   tx::PrismTxOptions opts;
   opts.keys_per_shard = 16;
   opts.value_size = kValueSize;
@@ -302,6 +356,7 @@ SeedRun RunTxSeed(uint64_t seed) {
   r.schedule = monkey.Describe();
   r.faults = InjectedFaults(monkey);
   r.check = check::CheckReadCommitted(history.txns(), initial);
+  sobs.Harvest(fabric, seed, &r);
   return r;
 }
 
@@ -631,8 +686,9 @@ TEST(ChaosMonkeyTest, EveryFaultHealsByHorizonAndHooksFire) {
 }  // namespace
 }  // namespace prism
 
-// Custom main: strip --seed=N (single-seed replay) and --jobs=N (sweep
-// parallelism) before gtest parses the rest.
+// Custom main: strip --seed=N (single-seed replay), --jobs=N (sweep
+// parallelism), --trace=<path> and --metrics (failure/replay observability
+// dumps) before gtest parses the rest.
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -640,6 +696,10 @@ int main(int argc, char** argv) {
       prism::g_replay_seed = std::stoll(arg.substr(7));
     } else if (arg.rfind("--jobs=", 0) == 0) {
       prism::g_chaos_jobs = std::stoi(arg.substr(7));
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      prism::g_chaos_trace_path = arg.substr(8);
+    } else if (arg == "--metrics") {
+      prism::g_chaos_metrics = true;
     }
   }
   ::testing::InitGoogleTest(&argc, argv);

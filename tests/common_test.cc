@@ -1,6 +1,8 @@
 // Tests for src/common: Status/Result, bytes, hashes, RNG, histogram.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <set>
 
 #include "src/common/bytes.h"
@@ -231,6 +233,62 @@ TEST(HistogramTest, LargeValuesDoNotOverflow) {
   h.Record(int64_t{1} << 40);  // ~18 minutes in ns
   EXPECT_EQ(h.count(), 1);
   EXPECT_GT(h.QuantileNanos(0.5), 0);
+}
+
+TEST(HistogramTest, EmptyQuantilesAreZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.QuantileNanos(0.0), 0);
+  EXPECT_EQ(h.QuantileNanos(0.5), 0);
+  EXPECT_EQ(h.QuantileNanos(1.0), 0);
+}
+
+TEST(HistogramTest, SingleSampleEveryQuantileIsTheSample) {
+  LatencyHistogram h;
+  h.Record(12345);
+  for (double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.QuantileNanos(q), 12345) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, P100IsExactMax) {
+  LatencyHistogram h;
+  h.Record(1000);
+  h.Record(777777);  // lands mid-bucket: interpolation would overshoot
+  h.Record(50);
+  EXPECT_EQ(h.QuantileNanos(1.0), 777777);
+  EXPECT_EQ(h.QuantileNanos(0.0), 50);
+  // Out-of-range q clamps rather than misbehaving.
+  EXPECT_EQ(h.QuantileNanos(-0.5), 50);
+  EXPECT_EQ(h.QuantileNanos(2.0), 777777);
+}
+
+TEST(HistogramTest, NanQuantileIsDeterministic) {
+  LatencyHistogram h;
+  h.Record(100);
+  h.Record(200);
+  EXPECT_EQ(h.QuantileNanos(std::nan("")), 200);
+}
+
+TEST(HistogramTest, HugeSamplesSaturateInsteadOfWrappingNegative) {
+  // INT64_MAX lands in the last representable tier; the next bucket edge
+  // used by the interpolation would previously shift past the sign bit.
+  LatencyHistogram h;
+  h.Record(std::numeric_limits<int64_t>::max());
+  h.Record(std::numeric_limits<int64_t>::max() - 1);
+  for (double q : {0.01, 0.5, 0.99}) {
+    const int64_t v = h.QuantileNanos(q);
+    EXPECT_GE(v, h.MinNanos()) << "q=" << q;
+    EXPECT_LE(v, h.MaxNanos()) << "q=" << q;
+  }
+  EXPECT_EQ(h.QuantileNanos(1.0), std::numeric_limits<int64_t>::max());
+}
+
+TEST(HistogramTest, ConstantStreamHasZeroWidthQuantiles) {
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(4242);
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.99, 1.0}) {
+    EXPECT_EQ(h.QuantileNanos(q), 4242) << "q=" << q;
+  }
 }
 
 }  // namespace

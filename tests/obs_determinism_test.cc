@@ -1,0 +1,142 @@
+// Observability determinism regression: running a figure sweep point with
+// tracing enabled must reproduce the run with tracing disabled exactly —
+// identical (when,seq) event replay (asserted through the simulator's event
+// counts and lane classification in the metrics snapshot) and identical
+// bench outputs (every LoadPoint field, including the protocol-complexity
+// rows). This is the test that keeps the tracer "pure recording": any
+// instrumentation that schedules an event, perturbs an allocation the
+// replay depends on, or changes an RNG draw shows up here as a diff.
+//
+// Also asserted: the Table-1 acceptance numbers — PRISM-KV reads take one
+// round trip per op while Pilaf reads take two (§4.3 / Table 1), visible in
+// the per-op accounting that BENCH_figs.json carries.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/kv_bench_lib.h"
+
+namespace prism::bench {
+namespace {
+
+// Everything a point run can observably produce, for whole-run comparison.
+struct PointResult {
+  workload::LoadPoint point;
+  obs::MetricsSnapshot snapshot;
+};
+
+void ExpectSamePoint(const workload::LoadPoint& a,
+                     const workload::LoadPoint& b) {
+  EXPECT_EQ(a.clients, b.clients);
+  EXPECT_EQ(a.tput_mops, b.tput_mops);
+  EXPECT_EQ(a.mean_us, b.mean_us);
+  EXPECT_EQ(a.p50_us, b.p50_us);
+  EXPECT_EQ(a.p99_us, b.p99_us);
+  EXPECT_EQ(a.abort_rate, b.abort_rate);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_TRUE(a.ops[i] == b.ops[i]) << "op row " << a.ops[i].op;
+  }
+}
+
+class ObsDeterminismTest : public ::testing::Test {
+ protected:
+  ObsDeterminismTest() { setenv("PRISM_BENCH_FAST", "1", 1); }
+};
+
+TEST_F(ObsDeterminismTest, TracingDoesNotPerturbPrismKvPoint) {
+  const BenchWindows windows = BenchWindows::Default();
+  constexpr int kClients = 4;
+  constexpr uint64_t kSeed = 3004;
+
+  // Baseline: no tracer, metrics snapshot only (the snapshot itself carries
+  // sim.executed_events / zero_delay / timer / overflow / heap_callables /
+  // pool_blocks, i.e. the full (when,seq) replay fingerprint).
+  obs::PointObs base;
+  base.want_metrics = true;
+  PointResult off;
+  off.point = RunPrismKvPoint(kClients, 1.0, windows, kSeed, &base);
+  off.snapshot = base.snapshot;
+
+  // Same point, tracer attached.
+  obs::Tracer tracer;
+  obs::PointObs traced;
+  traced.tracer = &tracer;
+  traced.want_metrics = true;
+  PointResult on;
+  on.point = RunPrismKvPoint(kClients, 1.0, windows, kSeed, &traced);
+  on.snapshot = traced.snapshot;
+
+  ExpectSamePoint(off.point, on.point);
+  EXPECT_TRUE(off.snapshot == on.snapshot)
+      << "tracing changed the metrics snapshot:\n--- off ---\n"
+      << off.snapshot.ToText() << "--- on ---\n" << on.snapshot.ToText();
+
+  // The traced run must actually have traced something, spanning the app,
+  // transport, server and fabric layers.
+  EXPECT_GT(tracer.finished_count(), 0u);
+  bool saw_app = false, saw_prism = false, saw_chain = false, saw_net = false;
+  for (const obs::SpanRecord& s : tracer.finished()) {
+    if (s.name == "kv.get") saw_app = true;
+    if (s.name == "prism.execute") saw_prism = true;
+    if (s.name == "prism.chain") saw_chain = true;
+    if (s.name == "net.flight") saw_net = true;
+  }
+  EXPECT_TRUE(saw_app && saw_prism && saw_chain && saw_net)
+      << "app=" << saw_app << " prism=" << saw_prism
+      << " chain=" << saw_chain << " net=" << saw_net;
+  // And the point runner filled in the Perfetto process labels.
+  EXPECT_FALSE(traced.host_names.empty());
+}
+
+TEST_F(ObsDeterminismTest, RerunIsBitIdentical) {
+  // Two identical runs (as a --jobs worker would execute them) must agree
+  // on every output bit — the property that makes per-point snapshots safe
+  // to collect under any fan-out.
+  const BenchWindows windows = BenchWindows::Default();
+  obs::PointObs a, b;
+  a.want_metrics = b.want_metrics = true;
+  workload::LoadPoint pa = RunPilafPoint(2, 1.0, rdma::Backend::kHardwareNic,
+                                         windows, 1001, &a);
+  workload::LoadPoint pb = RunPilafPoint(2, 1.0, rdma::Backend::kHardwareNic,
+                                         windows, 1001, &b);
+  ExpectSamePoint(pa, pb);
+  EXPECT_TRUE(a.snapshot == b.snapshot);
+}
+
+TEST_F(ObsDeterminismTest, Table1RoundTripsPrismVsPilaf) {
+  const BenchWindows windows = BenchWindows::Default();
+  workload::LoadPoint prism_point =
+      RunPrismKvPoint(2, 1.0, windows, 42, nullptr);
+  workload::LoadPoint pilaf_point = RunPilafPoint(
+      2, 1.0, rdma::Backend::kHardwareNic, windows, 42, nullptr);
+
+  auto get_row = [](const workload::LoadPoint& p) -> const obs::OpStats* {
+    for (const obs::OpStats& os : p.ops) {
+      if (os.op == "kv.get") return &os;
+    }
+    return nullptr;
+  };
+  const obs::OpStats* prism_get = get_row(prism_point);
+  const obs::OpStats* pilaf_get = get_row(pilaf_point);
+  ASSERT_NE(prism_get, nullptr);
+  ASSERT_NE(pilaf_get, nullptr);
+  ASSERT_GT(prism_get->count, 0u);
+  ASSERT_GT(pilaf_get->count, 0u);
+
+  // Table 1: a PRISM KV read is one indirect-read round trip; Pilaf chases
+  // the hash-table pointer with two RDMA READs. Lossless network, so the
+  // totals are exact multiples.
+  EXPECT_EQ(prism_get->totals.round_trips, prism_get->count);
+  EXPECT_EQ(pilaf_get->totals.round_trips, 2 * pilaf_get->count);
+  // Hardware-NIC verbs burn no host CPU; the default PRISM-KV deployment is
+  // software, so each chain costs one (SmartNIC-class) cpu action.
+  EXPECT_EQ(prism_get->totals.cpu_actions, prism_get->count);
+  EXPECT_EQ(pilaf_get->totals.cpu_actions, 0u);
+}
+
+}  // namespace
+}  // namespace prism::bench
