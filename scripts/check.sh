@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Full pre-merge check: tier-1 verify (ROADMAP.md), an ASan+UBSan build of
-# the whole tree with the sanitize-labeled test suite, the chaos sweeps, and
-# a ThreadSanitizer pass over the threaded sweep-harness paths.
+# the whole tree with the sanitize-labeled test suite, the chaos sweeps, the
+# schedule-space exploration sweeps (label: explore), a ThreadSanitizer pass
+# over the threaded sweep-harness paths, and the gcov line-coverage floor on
+# src/check/ + src/explore/ (scripts/coverage.sh).
 #
 #   scripts/check.sh                 # tier-1 + sanitizers
 #   scripts/check.sh --fast          # tier-1 only
@@ -53,6 +55,9 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L sanitize
 echo "==> chaos: seeded fault-injection sweeps under ASan (label: chaos)"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L chaos
 
+echo "==> explore: schedule-space exploration sweeps under ASan (label: explore)"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L explore
+
 echo "==> tsan: ThreadSanitizer configure + build (build-tsan/)"
 cmake --preset tsan >/dev/null
 cmake --build build-tsan -j "$JOBS"
@@ -60,5 +65,8 @@ cmake --build build-tsan -j "$JOBS"
 echo "==> tsan: sweep harness + chaos sweeps under TSan"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
       -R 'SweepHarness|ChaosSweep'
+
+echo "==> coverage: gcov line-coverage floor on src/check/ + src/explore/"
+scripts/coverage.sh --jobs "$JOBS"
 
 echo "OK"

@@ -76,8 +76,13 @@ void ChaosMonkey::BuildSchedule() {
         continue;
       }
       crash_windows.emplace_back(host, w);
-      schedule_.push_back({w.start, FaultKind::kCrash, host});
-      schedule_.push_back({w.end, FaultKind::kRestart, host});
+      const int wid = window_count_++;
+      FaultEvent crash{w.start, FaultKind::kCrash, host};
+      crash.window = wid;
+      FaultEvent restart{w.end, FaultKind::kRestart, host};
+      restart.window = wid;
+      schedule_.push_back(crash);
+      schedule_.push_back(restart);
     }
   }
 
@@ -89,8 +94,13 @@ void ChaosMonkey::BuildSchedule() {
           opts_.partition_hosts[rng.NextBelow(opts_.partition_hosts.size())];
       const Window w = window(opts_.min_partition, opts_.max_partition);
       if (a == b || w.end <= w.start) continue;
-      schedule_.push_back({w.start, FaultKind::kPartitionStart, a, b});
-      schedule_.push_back({w.end, FaultKind::kPartitionStop, a, b});
+      const int wid = window_count_++;
+      FaultEvent start{w.start, FaultKind::kPartitionStart, a, b};
+      start.window = wid;
+      FaultEvent stop{w.end, FaultKind::kPartitionStop, a, b};
+      stop.window = wid;
+      schedule_.push_back(start);
+      schedule_.push_back(stop);
     }
   }
 
@@ -104,21 +114,28 @@ void ChaosMonkey::BuildSchedule() {
     for (const Window& other : bursts) clear = clear && !Overlaps(w, other);
     if (!clear) continue;
     bursts.push_back(w);
+    const int wid = window_count_++;
     FaultEvent start{w.start, FaultKind::kLossBurstStart};
     start.loss = opts_.loss_burst_probability;
+    start.window = wid;
     schedule_.push_back(start);
-    schedule_.push_back({w.end, FaultKind::kLossBurstStop});
+    FaultEvent stop{w.end, FaultKind::kLossBurstStop};
+    stop.window = wid;
+    schedule_.push_back(stop);
   }
 
   // Latency spikes are additive and may overlap freely.
   for (int i = 0; i < opts_.latency_spike_count; ++i) {
     const Window w = window(opts_.min_spike, opts_.max_spike);
     if (w.end <= w.start) continue;
+    const int wid = window_count_++;
     FaultEvent start{w.start, FaultKind::kLatencySpikeStart};
     start.extra_latency = opts_.spike_latency;
+    start.window = wid;
     schedule_.push_back(start);
     FaultEvent stop{w.end, FaultKind::kLatencySpikeStop};
     stop.extra_latency = opts_.spike_latency;
+    stop.window = wid;
     schedule_.push_back(stop);
   }
 
@@ -130,8 +147,23 @@ void ChaosMonkey::BuildSchedule() {
 void ChaosMonkey::Arm() {
   sim::Simulator* sim = fabric_->simulator();
   for (const FaultEvent& ev : schedule_) {
+    if (IsWindowDisabled(ev.window)) continue;
     sim->ScheduleAt(ev.at, [this, ev]() { Apply(ev); });
   }
+}
+
+void ChaosMonkey::SetWindowDisabled(int window, bool disabled) {
+  PRISM_CHECK_GE(window, 0);
+  PRISM_CHECK_LT(window, window_count_);
+  if (window_disabled_.empty()) {
+    window_disabled_.assign(static_cast<size_t>(window_count_), false);
+  }
+  window_disabled_[static_cast<size_t>(window)] = disabled;
+}
+
+bool ChaosMonkey::IsWindowDisabled(int window) const {
+  if (window < 0 || window_disabled_.empty()) return false;
+  return window_disabled_[static_cast<size_t>(window)];
 }
 
 void ChaosMonkey::Apply(const FaultEvent& ev) {

@@ -44,6 +44,7 @@ struct FaultEvent {
   net::HostId b = 0;                // link destination
   double loss = 0.0;                // burst loss probability
   sim::Duration extra_latency = 0;  // spike propagation surcharge
+  int window = -1;                  // fault window this event belongs to
 };
 
 struct ChaosOptions {
@@ -99,6 +100,20 @@ class ChaosMonkey {
   const std::vector<FaultEvent>& schedule() const { return schedule_; }
   std::string Describe() const;
 
+  // ---- fault windows ----
+  //
+  // Every fault comes as a start/stop pair (crash+restart, partition and
+  // its heal, burst and its end, spike and its end) sharing one window id
+  // in [0, window_count()). The schedule-space explorer's shrinker
+  // minimizes fault schedules at window granularity: disabling a window
+  // drops BOTH its events, so network/host state stays balanced. Disabling
+  // never changes the RNG expansion — the full schedule is always built and
+  // filtered only at Arm() time, so a shrunk run replays the surviving
+  // windows at their original times.
+  int window_count() const { return window_count_; }
+  void SetWindowDisabled(int window, bool disabled);
+  bool IsWindowDisabled(int window) const;
+
   // ---- counters (filled in as the armed schedule executes) ----
   int crashes_injected() const { return crashes_injected_; }
   int partitions_injected() const { return partitions_injected_; }
@@ -112,6 +127,8 @@ class ChaosMonkey {
   net::Fabric* fabric_;
   ChaosOptions opts_;
   std::vector<FaultEvent> schedule_;
+  int window_count_ = 0;
+  std::vector<bool> window_disabled_;
   std::map<net::HostId, std::function<void()>> restart_hooks_;
   double base_loss_ = 0.0;
   int crashes_injected_ = 0;

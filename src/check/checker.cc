@@ -125,6 +125,44 @@ CheckResult CheckLinearizable(const std::vector<Op>& history,
   return CheckResult{};
 }
 
+std::vector<ValueId> AdmissibleFinalValues(const std::vector<Op>& history,
+                                           uint64_t key, ValueId initial) {
+  // Candidate writes to `key` with their effective response times.
+  struct Write {
+    ValueId value;
+    sim::TimePoint resp;
+    bool ok;
+  };
+  std::vector<Write> writes;
+  bool any_ok = false;
+  for (const Op& op : history) {
+    if (op.key != key || op.type != OpType::kWrite) continue;
+    if (op.done && op.outcome == Outcome::kFailed) continue;
+    const bool ok = op.done && op.outcome == Outcome::kOk;
+    writes.push_back({op.value, ok ? op.response : kInfinity, ok});
+    any_ok = any_ok || ok;
+  }
+  std::vector<ValueId> admissible;
+  if (!any_ok) admissible.push_back(initial);
+  for (const Write& w : writes) {
+    bool superseded = false;
+    for (const Op& op : history) {
+      if (op.key != key || op.type != OpType::kWrite) continue;
+      if (!op.done || op.outcome != Outcome::kOk) continue;
+      if (op.invoke > w.resp) {
+        superseded = true;
+        break;
+      }
+    }
+    if (!superseded &&
+        std::find(admissible.begin(), admissible.end(), w.value) ==
+            admissible.end()) {
+      admissible.push_back(w.value);
+    }
+  }
+  return admissible;
+}
+
 CheckResult CheckReadCommitted(
     const std::vector<TxnRecord>& txns,
     const std::vector<std::pair<uint64_t, ValueId>>& initial) {

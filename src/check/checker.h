@@ -53,6 +53,26 @@ CheckResult CheckReadCommitted(
     const std::vector<TxnRecord>& txns,
     const std::vector<std::pair<uint64_t, ValueId>>& initial);
 
+// Final-state admissibility, used by the differential oracle in
+// src/explore: the set of values a quiescent read of `key` may observe
+// after every operation in `history` has completed, for a linearizable
+// register store.
+//
+// Derivation: in any linearization the final value is written by the last
+// linearized write. A kOk write W cannot be last if another kOk write W'
+// strictly follows it in real time (W'.invoke > W.response), because W'
+// always applies and must linearize after W. So the admissible set is
+//   { value(W) : W is a kOk or kIndeterminate write to key, and no kOk
+//     write W' to key has W'.invoke > resp(W) }
+// with resp(W) = W.response for kOk writes and +inf for kIndeterminate or
+// still-open writes (their install time is unbounded), plus `initial` iff
+// no kOk write to key exists (an indeterminate write may have never
+// applied). kFailed writes are excluded: they provably had no effect.
+// The set is sound — it never excludes a value a correct implementation
+// could leave behind — so a final value outside it is a real violation.
+std::vector<ValueId> AdmissibleFinalValues(const std::vector<Op>& history,
+                                           uint64_t key, ValueId initial);
+
 // Debug form of one op: "client 2 W key=5 v=abcd [t1,t2] ok".
 std::string FormatOp(const Op& op);
 

@@ -1,0 +1,37 @@
+#include "src/explore/hooks.h"
+
+namespace prism::explore {
+
+size_t PerturbHook::Pick(const std::vector<sim::EnabledEvent>& enabled) {
+  const uint64_t step = steps_++;
+  if (enabled.size() <= 1) return 0;
+  if (static_cast<int>(applied_.size()) >= budget_) return 0;
+  // The RNG is consulted only on multi-event steps under budget, and the
+  // recorded (step, choice) pairs fully determine the schedule — so a
+  // ReplayHook reproduces this run without the RNG.
+  if (!rng_.NextBool(rate_)) return 0;
+  const size_t choice = 1 + static_cast<size_t>(
+                                rng_.NextBelow(enabled.size() - 1));
+  applied_.push_back({step, static_cast<uint32_t>(choice)});
+  return choice;
+}
+
+size_t ReplayHook::Pick(const std::vector<sim::EnabledEvent>& enabled) {
+  const uint64_t step = steps_++;
+  // Skip over stale entries (recorded at steps the current run never
+  // reached with a decision — possible once earlier perturbations were
+  // removed by the shrinker and the step numbering drifted).
+  while (next_ < perturbations_.size() && perturbations_[next_].step < step) {
+    ++next_;
+    ++skipped_;
+  }
+  if (next_ < perturbations_.size() && perturbations_[next_].step == step) {
+    const uint32_t choice = perturbations_[next_].choice;
+    ++next_;
+    if (choice < enabled.size()) return choice;
+    ++skipped_;
+  }
+  return 0;
+}
+
+}  // namespace prism::explore

@@ -1,0 +1,107 @@
+// Schedule hooks: the concrete ScheduleHook implementations the explorer
+// installs on the simulator (see sim/simulator.h for the enabled-set
+// contract and the soundness bound).
+//
+//  * IdentityHook    — always picks the earliest (when, seq) event. The
+//                      execution is bit-identical to the production engine;
+//                      obs_determinism_test pins this down.
+//  * PerturbHook     — seeded random exploration: at each step, with a
+//                      configured probability and while a perturbation
+//                      budget remains, picks a uniformly random non-front
+//                      event from the enabled window. Every non-identity
+//                      decision is recorded as a Perturbation, so a failing
+//                      run replays exactly through a ReplayHook.
+//  * ReplayHook      — deterministic replay of an explicit perturbation
+//                      list: at the recorded step numbers it repeats the
+//                      recorded choices, identity everywhere else. The
+//                      shrinker re-runs candidate subsets through this; a
+//                      choice that no longer fits the (smaller) window is
+//                      skipped, never clamped, so replays stay legal
+//                      schedules.
+#ifndef PRISM_SRC_EXPLORE_HOOKS_H_
+#define PRISM_SRC_EXPLORE_HOOKS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace prism::explore {
+
+// One recorded reorder decision: at Pick call number `step` (counting every
+// Pick across the run, starting at 0) the hook chose `choice` instead of
+// the front event.
+struct Perturbation {
+  uint64_t step = 0;
+  uint32_t choice = 0;
+
+  bool operator==(const Perturbation& other) const {
+    return step == other.step && choice == other.choice;
+  }
+};
+
+class IdentityHook : public sim::ScheduleHook {
+ public:
+  explicit IdentityHook(sim::Duration delta = 0) : delta_(delta) {}
+
+  sim::Duration window() const override { return delta_; }
+  size_t Pick(const std::vector<sim::EnabledEvent>& enabled) override {
+    ++steps_;
+    return 0;
+  }
+  uint64_t steps() const { return steps_; }
+
+ private:
+  sim::Duration delta_;
+  uint64_t steps_ = 0;
+};
+
+class PerturbHook : public sim::ScheduleHook {
+ public:
+  PerturbHook(uint64_t seed, sim::Duration delta, int budget,
+              double rate = 0.3)
+      : rng_(seed), delta_(delta), budget_(budget), rate_(rate) {}
+
+  sim::Duration window() const override { return delta_; }
+  size_t Pick(const std::vector<sim::EnabledEvent>& enabled) override;
+
+  // The non-identity decisions this run actually made, in step order.
+  const std::vector<Perturbation>& applied() const { return applied_; }
+  uint64_t steps() const { return steps_; }
+
+ private:
+  Rng rng_;
+  sim::Duration delta_;
+  int budget_;
+  double rate_;
+  uint64_t steps_ = 0;
+  std::vector<Perturbation> applied_;
+};
+
+class ReplayHook : public sim::ScheduleHook {
+ public:
+  // `perturbations` must be in increasing step order (as recorded).
+  ReplayHook(sim::Duration delta, std::vector<Perturbation> perturbations)
+      : delta_(delta), perturbations_(std::move(perturbations)) {}
+
+  sim::Duration window() const override { return delta_; }
+  size_t Pick(const std::vector<sim::EnabledEvent>& enabled) override;
+
+  uint64_t steps() const { return steps_; }
+  // Perturbations whose recorded choice exceeded the enabled window at
+  // replay time (possible when replaying a shrunk subset).
+  int skipped() const { return skipped_; }
+
+ private:
+  sim::Duration delta_;
+  std::vector<Perturbation> perturbations_;
+  size_t next_ = 0;
+  uint64_t steps_ = 0;
+  int skipped_ = 0;
+};
+
+}  // namespace prism::explore
+
+#endif  // PRISM_SRC_EXPLORE_HOOKS_H_

@@ -1,0 +1,61 @@
+#include "src/explore/oracle.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace prism::explore {
+
+void RefModel::Replay(const std::vector<check::Op>& history) {
+  // Stable sort by response time: equal-response writes keep history
+  // (invocation) order, so the model is deterministic.
+  std::vector<const check::Op*> writes;
+  for (const check::Op& op : history) {
+    if (op.type == check::OpType::kWrite && op.done &&
+        op.outcome == check::Outcome::kOk) {
+      writes.push_back(&op);
+    }
+  }
+  std::stable_sort(writes.begin(), writes.end(),
+                   [](const check::Op* a, const check::Op* b) {
+                     return a->response < b->response;
+                   });
+  for (const check::Op* w : writes) state_[w->key] = w->value;
+}
+
+check::CheckResult DiffFinalState(const std::vector<check::Op>& history,
+                                  const std::vector<FinalRead>& final_state,
+                                  check::ValueId initial) {
+  RefModel model(initial);
+  model.Replay(history);
+  for (const FinalRead& fr : final_state) {
+    if (fr.value == model.Expected(fr.key)) continue;  // matches reference
+    const std::vector<check::ValueId> admissible =
+        check::AdmissibleFinalValues(history, fr.key, initial);
+    if (std::find(admissible.begin(), admissible.end(), fr.value) !=
+        admissible.end()) {
+      continue;  // a racing linearization explains it
+    }
+    check::CheckResult r;
+    r.ok = false;
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "final state diverged on key=%" PRIu64 ": observed v=%016"
+                  PRIx64 ", reference model expected v=%016" PRIx64
+                  ", admissible:",
+                  fr.key, fr.value, model.Expected(fr.key));
+    r.error = buf;
+    for (check::ValueId v : admissible) {
+      std::snprintf(buf, sizeof(buf), " %016" PRIx64, v);
+      r.error += buf;
+    }
+    r.error += "\nops on this key:";
+    for (const check::Op& op : history) {
+      if (op.key == fr.key) r.error += "\n  " + check::FormatOp(op);
+    }
+    return r;
+  }
+  return check::CheckResult{};
+}
+
+}  // namespace prism::explore

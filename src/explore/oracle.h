@@ -1,0 +1,66 @@
+// Differential final-state oracle for explored executions.
+//
+// After a (possibly perturbed) run drains, the workload harness performs
+// quiescent reads of every register and hands the observed (key, value)
+// pairs here. The oracle replays the recorded invocation history against a
+// single-node in-memory reference model to compute the *expected* final
+// value per key, and diffs the system's actual final state against it.
+//
+// Concurrency makes the expectation ambiguous — when the last writes to a
+// key raced, or an indeterminate write may or may not have installed, more
+// than one final value is legal. A mismatch against the reference model is
+// therefore only *suspicious*; it is escalated to a violation exactly when
+// the observed value also falls outside check::AdmissibleFinalValues (which
+// is sound: it never excludes a value a linearizable implementation could
+// leave behind). This keeps the oracle free of concurrency false positives
+// while still catching lost updates, resurrected deletes, and stale-backup
+// divergence that no quiescent read ever witnessed mid-run.
+#ifndef PRISM_SRC_EXPLORE_ORACLE_H_
+#define PRISM_SRC_EXPLORE_ORACLE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/check/checker.h"
+#include "src/check/history.h"
+
+namespace prism::explore {
+
+// One quiescent observation: the value a read of `key` returned after the
+// run drained and every fault healed.
+struct FinalRead {
+  uint64_t key = 0;
+  check::ValueId value = check::kAbsent;
+};
+
+// Single-node reference model of a multi-key register store: applies the
+// history's kOk writes in response-time order. Its Expected() value is the
+// final state of the canonical sequential execution.
+class RefModel {
+ public:
+  explicit RefModel(check::ValueId initial) : initial_(initial) {}
+
+  void Replay(const std::vector<check::Op>& history);
+
+  check::ValueId Expected(uint64_t key) const {
+    auto it = state_.find(key);
+    return it == state_.end() ? initial_ : it->second;
+  }
+
+ private:
+  check::ValueId initial_;
+  std::map<uint64_t, check::ValueId> state_;
+};
+
+// Diffs the observed quiescent state against the reference model; escalates
+// mismatches through the admissible-final-value set (see header comment).
+// The witness names the key, the observed value, the reference expectation,
+// the admissible set, and the key's recorded ops.
+check::CheckResult DiffFinalState(const std::vector<check::Op>& history,
+                                  const std::vector<FinalRead>& final_state,
+                                  check::ValueId initial);
+
+}  // namespace prism::explore
+
+#endif  // PRISM_SRC_EXPLORE_ORACLE_H_

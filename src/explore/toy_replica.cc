@@ -1,0 +1,49 @@
+#include "src/explore/toy_replica.h"
+
+#include "src/common/rng.h"
+
+namespace prism::explore {
+
+ToyReplica::ToyReplica(sim::Simulator* sim, check::HistoryRecorder* history,
+                       Options opts)
+    : sim_(sim),
+      history_(history),
+      opts_(opts),
+      primary_(opts.keys, kInitial),
+      backup_(opts.keys, kInitial) {}
+
+void ToyReplica::SpawnClients(uint64_t seed, sim::TaskTracker* tracker) {
+  for (int c = 0; c < opts_.clients; ++c) {
+    sim::Spawn(ClientLoop(c, seed), tracker);
+  }
+}
+
+sim::Task<void> ToyReplica::ClientLoop(int client, uint64_t seed) {
+  Rng rng(seed * 31337 + static_cast<uint64_t>(client));
+  for (int i = 0; i < opts_.ops_per_client; ++i) {
+    const uint64_t key = rng.NextBelow(opts_.keys);
+    if (client == 0) {
+      const check::ValueId v = MakeValue(seed, client, i);
+      const size_t id =
+          history_->Begin(client + 1, key, check::OpType::kWrite, v);
+      primary_[key] = v;
+      // THE BUG: the backup applies asynchronously with no ordering tie to
+      // the acknowledgement below — a delayed propagation acks stale state.
+      sim_->Schedule(opts_.propagate_delay,
+                     [this, key, v] { backup_[key] = v; });
+      co_await sim::SleepFor(sim_, opts_.ack_delay);
+      history_->End(id, check::Outcome::kOk);
+    } else {
+      const size_t id = history_->Begin(client + 1, key, check::OpType::kRead);
+      const check::ValueId v = backup_[key];  // sampled at invocation
+      co_await sim::SleepFor(sim_, opts_.ack_delay);
+      history_->End(id, check::Outcome::kOk, v);
+    }
+    co_await sim::SleepFor(
+        sim_, sim::Duration(rng.NextInRange(
+                  static_cast<uint64_t>(opts_.min_gap),
+                  static_cast<uint64_t>(opts_.max_gap))));
+  }
+}
+
+}  // namespace prism::explore

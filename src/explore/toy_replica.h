@@ -1,0 +1,80 @@
+// A deliberately buggy primary/backup register — the explorer's known-bad
+// target for negative tests.
+//
+// The replica acknowledges a write kAckDelay after invocation, but applies
+// it to the backup copy via an asynchronous propagation event scheduled
+// only kPropagateDelay after invocation — and reads are served from the
+// backup, sampled at invocation time. Under the production schedule the
+// propagation always lands before the acknowledgement (kPropagateDelay <
+// kAckDelay), so every read that strictly follows a write sees it: the
+// canonical execution is linearizable and no plain chaos sweep can expose
+// the flaw. Under bounded reordering the bug surfaces two ways:
+//
+//  * stale read — delay a write's propagation past its acknowledgement AND
+//    past a later read's invocation: the read returns the old value after
+//    the write was acked (linearizability violation, minimal counterexample
+//    two perturbations: fire the ack early, then the read);
+//  * lost update — two writes to one key; delay the first write's
+//    propagation past the second's: the backup ends on the older value
+//    (caught by the differential final-state oracle even if no read ever
+//    observed it).
+#ifndef PRISM_SRC_EXPLORE_TOY_REPLICA_H_
+#define PRISM_SRC_EXPLORE_TOY_REPLICA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/check/history.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace prism::explore {
+
+class ToyReplica {
+ public:
+  struct Options {
+    int clients = 2;          // client 0 writes, the others read
+    int ops_per_client = 6;
+    uint64_t keys = 1;
+    sim::Duration propagate_delay = sim::Nanos(100);
+    sim::Duration ack_delay = sim::Nanos(300);
+    sim::Duration min_gap = sim::Nanos(200);  // think time between ops
+    sim::Duration max_gap = sim::Nanos(700);
+  };
+
+  // A value no workload write ever produces (see MakeValue).
+  static constexpr check::ValueId kInitial = 0x70F0;
+
+  ToyReplica(sim::Simulator* sim, check::HistoryRecorder* history,
+             Options opts);
+
+  // Spawns the client coroutines; run the simulator to completion after.
+  void SpawnClients(uint64_t seed, sim::TaskTracker* tracker);
+
+  // Quiescent final value of `key` — what a reader would observe once the
+  // event queue drained (reads are served from the backup).
+  check::ValueId FinalValue(uint64_t key) const { return backup_[key]; }
+
+  uint64_t keys() const { return opts_.keys; }
+
+  // Globally unique written value: distinct per (seed, client, op), never
+  // kAbsent or kInitial.
+  static check::ValueId MakeValue(uint64_t seed, int client, int op) {
+    return (uint64_t{1} << 63) | (seed << 16) |
+           (static_cast<uint64_t>(client) << 8) | static_cast<uint64_t>(op);
+  }
+
+ private:
+  sim::Task<void> ClientLoop(int client, uint64_t seed);
+
+  sim::Simulator* sim_;
+  check::HistoryRecorder* history_;
+  Options opts_;
+  std::vector<check::ValueId> primary_;
+  std::vector<check::ValueId> backup_;
+};
+
+}  // namespace prism::explore
+
+#endif  // PRISM_SRC_EXPLORE_TOY_REPLICA_H_

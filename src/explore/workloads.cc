@@ -1,0 +1,488 @@
+#include "src/explore/workloads.h"
+
+#include <memory>
+#include <utility>
+
+#include "src/chaos/chaos.h"
+#include "src/check/checker.h"
+#include "src/check/history.h"
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/explore/oracle.h"
+#include "src/explore/toy_replica.h"
+#include "src/kv/prism_kv.h"
+#include "src/net/fabric.h"
+#include "src/rs/prism_rs.h"
+#include "src/sim/task.h"
+#include "src/tx/prism_tx.h"
+
+namespace prism::explore {
+
+namespace {
+
+using sim::Task;
+
+const char* kWorkloadNames[] = {"toy", "rs", "kv", "tx"};
+
+// Explorer workloads are small cousins of the chaos_test sweeps: the
+// explorer runs each (workload, seed) point N times and the shrinker dozens
+// more, so ops counts and think times are scaled down, and the chaos
+// schedule is compressed to overlap the shorter run.
+constexpr int kClients = 2;
+
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t HistoryFingerprint(const std::vector<check::Op>& ops) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const check::Op& op : ops) {
+    h = HashCombine(h, static_cast<uint64_t>(op.client));
+    h = HashCombine(h, op.key);
+    h = HashCombine(h, static_cast<uint64_t>(op.type));
+    h = HashCombine(h, op.value);
+    h = HashCombine(h, static_cast<uint64_t>(op.invoke));
+    h = HashCombine(h, static_cast<uint64_t>(op.done ? op.response : -1));
+    h = HashCombine(h, static_cast<uint64_t>(op.outcome));
+  }
+  return h;
+}
+
+uint64_t TxFingerprint(const std::vector<check::TxnRecord>& txns) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const check::TxnRecord& t : txns) {
+    h = HashCombine(h, static_cast<uint64_t>(t.client));
+    h = HashCombine(h, static_cast<uint64_t>(t.outcome));
+    h = HashCombine(h, static_cast<uint64_t>(t.begin));
+    h = HashCombine(h, static_cast<uint64_t>(t.done ? t.end : -1));
+    for (const auto& [k, v] : t.reads) {
+      h = HashCombine(h, k);
+      h = HashCombine(h, v);
+    }
+    for (const auto& [k, v] : t.writes) {
+      h = HashCombine(h, k);
+      h = HashCombine(h, v);
+    }
+  }
+  return h;
+}
+
+// Globally unique value bytes, as in chaos_test (requires size >= 11).
+Bytes UniqueValue(size_t size, uint64_t seed, int client, int op) {
+  Bytes v(size, 0);
+  for (int i = 0; i < 8; ++i) v[i] = static_cast<uint8_t>(seed >> (8 * i));
+  v[8] = static_cast<uint8_t>(client);
+  v[9] = static_cast<uint8_t>(op);
+  v[10] = static_cast<uint8_t>(op >> 8);
+  return v;
+}
+
+check::ValueId KvKeyId(const std::string& key) {
+  return check::IdOf(ByteView(
+      reinterpret_cast<const uint8_t*>(key.data()), key.size()));
+}
+
+// Chaos schedule compressed to the explorer workloads' shorter runtime.
+chaos::ChaosOptions ExploreChaosOptions(uint64_t seed) {
+  chaos::ChaosOptions copts;
+  copts.seed = seed;
+  copts.start = sim::Micros(20);
+  copts.horizon = sim::Millis(1);
+  copts.min_downtime = sim::Micros(50);
+  copts.max_downtime = sim::Micros(400);
+  copts.min_partition = sim::Micros(50);
+  copts.max_partition = sim::Micros(400);
+  return copts;
+}
+
+void ApplyDisabledWindows(chaos::ChaosMonkey* monkey,
+                          const std::vector<int>* disabled) {
+  if (disabled == nullptr) return;
+  for (int w : *disabled) {
+    if (w >= 0 && w < monkey->window_count()) {
+      monkey->SetWindowDisabled(w, true);
+    }
+  }
+}
+
+void Fail(RunOutcome* out, const char* check_name, std::string error) {
+  out->ok = false;
+  out->check_name = check_name;
+  out->error = std::move(error);
+}
+
+// ---- toy: buggy primary/backup register, no chaos ----
+
+RunOutcome RunToy(uint64_t seed, sim::ScheduleHook* hook) {
+  sim::Simulator sim;
+  if (hook != nullptr) sim.SetScheduleHook(hook);
+  check::HistoryRecorder history(&sim);
+  ToyReplica toy(&sim, &history, ToyReplica::Options{});
+  sim::TaskTracker tracker;
+  toy.SpawnClients(seed, &tracker);
+  sim.Run();
+
+  RunOutcome out;
+  out.executed_events = sim.executed_events();
+  out.history_fingerprint = HistoryFingerprint(history.ops());
+  if (tracker.live() > 0) {
+    Fail(&out, "hang", "toy clients still live after the sim drained");
+    return out;
+  }
+  check::CheckResult lin =
+      check::CheckLinearizable(history.ops(), ToyReplica::kInitial);
+  if (!lin.ok) {
+    Fail(&out, "linearizability", std::move(lin.error));
+    return out;
+  }
+  std::vector<FinalRead> finals;
+  for (uint64_t k = 0; k < toy.keys(); ++k) {
+    finals.push_back({k, toy.FinalValue(k)});
+  }
+  check::CheckResult diff =
+      DiffFinalState(history.ops(), finals, ToyReplica::kInitial);
+  if (!diff.ok) Fail(&out, "final-state", std::move(diff.error));
+  return out;
+}
+
+// ---- PRISM-RS: 3-replica ABD under chaos ----
+
+RunOutcome RunRs(uint64_t seed, sim::ScheduleHook* hook,
+                 const std::vector<int>* disabled) {
+  constexpr uint64_t kBlocks = 3;
+  constexpr uint64_t kBlockSize = 64;
+  constexpr int kOpsPerClient = 6;
+
+  sim::Simulator sim;
+  if (hook != nullptr) sim.SetScheduleHook(hook);
+  net::Fabric fabric(&sim, net::CostModel::EvalCluster40G(),
+                     /*loss_seed=*/seed);
+  rs::PrismRsOptions opts;
+  opts.n_blocks = kBlocks;
+  opts.block_size = kBlockSize;
+  opts.buffers_per_replica = 512;
+  rs::PrismRsCluster cluster(&fabric, 3, opts);  // replica hosts 0..2
+
+  check::HistoryRecorder history(&sim);
+  std::vector<net::HostId> client_hosts;
+  std::vector<std::unique_ptr<rs::PrismRsClient>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    client_hosts.push_back(fabric.AddHost("client" + std::to_string(c)));
+    clients.push_back(std::make_unique<rs::PrismRsClient>(
+        &fabric, client_hosts[c], &cluster, static_cast<uint16_t>(c + 1)));
+    clients[c]->set_history(&history);
+  }
+
+  chaos::ChaosOptions copts = ExploreChaosOptions(seed);
+  copts.crashable = {0, 1, 2};
+  copts.max_concurrent_crashes = 1;  // = f: quorums stay live
+  copts.partition_hosts = {0, 1, 2};
+  for (net::HostId h : client_hosts) copts.partition_hosts.push_back(h);
+  chaos::ChaosMonkey monkey(&fabric, copts);
+  ApplyDisabledWindows(&monkey, disabled);
+  monkey.Arm();
+
+  sim::TaskTracker tracker;
+  for (int c = 0; c < kClients; ++c) {
+    sim::Spawn(
+        [&, c]() -> Task<void> {
+          Rng rng(seed * 977 + static_cast<uint64_t>(c));
+          for (int i = 0; i < kOpsPerClient; ++i) {
+            uint64_t block = rng.NextBelow(kBlocks);
+            if (rng.NextBool(0.5)) {
+              (void)co_await clients[c]->Put(
+                  block, UniqueValue(kBlockSize, seed, c, i));
+            } else {
+              (void)co_await clients[c]->Get(block);
+            }
+            co_await sim::SleepFor(&sim,
+                                   sim::Micros(rng.NextInRange(20, 120)));
+          }
+        },
+        &tracker);
+  }
+  sim.Run();
+
+  RunOutcome out;
+  out.fault_windows = monkey.window_count();
+  out.fault_schedule = monkey.Describe();
+  if (tracker.live() > 0) {
+    out.executed_events = sim.executed_events();
+    Fail(&out, "hang", "RS clients still live after the sim drained");
+    return out;
+  }
+
+  // Quiescent final reads: every fault healed by the chaos horizon, so a
+  // fresh read of each block probes the system's final state. They run
+  // detached from the history (the checker sees the workload snapshot).
+  const std::vector<check::Op> snapshot = history.ops();
+  for (int c = 0; c < kClients; ++c) clients[c]->set_history(nullptr);
+  std::vector<FinalRead> finals;
+  sim::TaskTracker final_tracker;
+  sim::Spawn(
+      [&]() -> Task<void> {
+        for (uint64_t b = 0; b < kBlocks; ++b) {
+          auto got = co_await clients[0]->Get(b);
+          if (got.ok()) finals.push_back({b, check::IdOf(got.value())});
+        }
+      },
+      &final_tracker);
+  sim.Run();
+
+  out.executed_events = sim.executed_events();
+  out.history_fingerprint = HistoryFingerprint(snapshot);
+  if (final_tracker.live() > 0) {
+    Fail(&out, "hang", "RS final reads still live after the sim drained");
+    return out;
+  }
+  const check::ValueId initial = check::IdOf(Bytes(kBlockSize, 0));
+  check::CheckResult lin = check::CheckLinearizable(snapshot, initial);
+  if (!lin.ok) {
+    Fail(&out, "linearizability", std::move(lin.error));
+    return out;
+  }
+  check::CheckResult diff = DiffFinalState(snapshot, finals, initial);
+  if (!diff.ok) Fail(&out, "final-state", std::move(diff.error));
+  return out;
+}
+
+// ---- PRISM-KV: single server under chaos ----
+
+RunOutcome RunKv(uint64_t seed, sim::ScheduleHook* hook,
+                 const std::vector<int>* disabled) {
+  constexpr uint64_t kKeys = 3;
+  constexpr size_t kValueSize = 32;
+  constexpr int kOpsPerClient = 8;
+
+  sim::Simulator sim;
+  if (hook != nullptr) sim.SetScheduleHook(hook);
+  net::Fabric fabric(&sim, net::CostModel::EvalCluster40G(),
+                     /*loss_seed=*/seed);
+  net::HostId server_host = fabric.AddHost("server");  // host 0
+  kv::PrismKvOptions opts;
+  opts.n_buckets = 64;
+  opts.n_buffers = 256;
+  kv::PrismKvServer server(&fabric, server_host, opts);
+
+  check::HistoryRecorder history(&sim);
+  std::vector<net::HostId> client_hosts;
+  std::vector<std::unique_ptr<kv::PrismKvClient>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    client_hosts.push_back(fabric.AddHost("client" + std::to_string(c)));
+    clients.push_back(std::make_unique<kv::PrismKvClient>(
+        &fabric, client_hosts[c], &server));
+    clients[c]->set_history(&history, c + 1);
+  }
+
+  chaos::ChaosOptions copts = ExploreChaosOptions(seed);
+  copts.crashable = {server_host};
+  copts.partition_hosts = {server_host};
+  for (net::HostId h : client_hosts) copts.partition_hosts.push_back(h);
+  chaos::ChaosMonkey monkey(&fabric, copts);
+  ApplyDisabledWindows(&monkey, disabled);
+  monkey.Arm();
+
+  sim::TaskTracker tracker;
+  for (int c = 0; c < kClients; ++c) {
+    sim::Spawn(
+        [&, c]() -> Task<void> {
+          Rng rng(seed * 977 + static_cast<uint64_t>(c));
+          for (int i = 0; i < kOpsPerClient; ++i) {
+            std::string key = "key-" + std::to_string(rng.NextBelow(kKeys));
+            const double dice = rng.NextDouble();
+            if (dice < 0.45) {
+              (void)co_await clients[c]->Put(
+                  key, UniqueValue(kValueSize, seed, c, i));
+            } else if (dice < 0.85) {
+              (void)co_await clients[c]->Get(key);
+            } else {
+              (void)co_await clients[c]->Delete(key);
+            }
+            co_await sim::SleepFor(&sim,
+                                   sim::Micros(rng.NextInRange(20, 120)));
+          }
+        },
+        &tracker);
+  }
+  sim.Run();
+
+  RunOutcome out;
+  out.fault_windows = monkey.window_count();
+  out.fault_schedule = monkey.Describe();
+  if (tracker.live() > 0) {
+    out.executed_events = sim.executed_events();
+    Fail(&out, "hang", "KV clients still live after the sim drained");
+    return out;
+  }
+
+  const std::vector<check::Op> snapshot = history.ops();
+  for (int c = 0; c < kClients; ++c) clients[c]->set_history(nullptr, 0);
+  std::vector<FinalRead> finals;
+  sim::TaskTracker final_tracker;
+  sim::Spawn(
+      [&]() -> Task<void> {
+        for (uint64_t k = 0; k < kKeys; ++k) {
+          std::string key = "key-" + std::to_string(k);
+          auto got = co_await clients[0]->Get(key);
+          if (got.ok()) {
+            finals.push_back({KvKeyId(key), check::IdOf(got.value())});
+          } else if (got.code() == Code::kNotFound) {
+            finals.push_back({KvKeyId(key), check::kAbsent});
+          }  // other errors: no conclusion about this key
+        }
+      },
+      &final_tracker);
+  sim.Run();
+
+  out.executed_events = sim.executed_events();
+  out.history_fingerprint = HistoryFingerprint(snapshot);
+  if (final_tracker.live() > 0) {
+    Fail(&out, "hang", "KV final reads still live after the sim drained");
+    return out;
+  }
+  check::CheckResult lin = check::CheckLinearizable(snapshot, check::kAbsent);
+  if (!lin.ok) {
+    Fail(&out, "linearizability", std::move(lin.error));
+    return out;
+  }
+  check::CheckResult diff = DiffFinalState(snapshot, finals, check::kAbsent);
+  if (!diff.ok) Fail(&out, "final-state", std::move(diff.error));
+  return out;
+}
+
+// ---- PRISM-TX: 2 shards under chaos, read-committed ----
+
+RunOutcome RunTx(uint64_t seed, sim::ScheduleHook* hook,
+                 const std::vector<int>* disabled) {
+  constexpr uint64_t kKeys = 6;
+  constexpr size_t kValueSize = 32;
+  constexpr int kTxPerClient = 6;
+
+  sim::Simulator sim;
+  if (hook != nullptr) sim.SetScheduleHook(hook);
+  net::Fabric fabric(&sim, net::CostModel::EvalCluster40G(),
+                     /*loss_seed=*/seed);
+  tx::PrismTxOptions opts;
+  opts.keys_per_shard = 16;
+  opts.value_size = kValueSize;
+  opts.buffers_per_shard = 256;
+  tx::PrismTxCluster cluster(&fabric, 2, opts);  // shard hosts 0..1
+
+  std::vector<std::pair<uint64_t, check::ValueId>> initial;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    Bytes v(kValueSize, 0);
+    v[0] = static_cast<uint8_t>(0xB0 + k);  // distinct, nonzero values
+    PRISM_CHECK(cluster.LoadKey(k, v).ok());
+    initial.emplace_back(k, check::IdOf(v));
+  }
+
+  check::TxHistoryRecorder history(&sim);
+  std::vector<net::HostId> client_hosts;
+  std::vector<std::unique_ptr<tx::PrismTxClient>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    client_hosts.push_back(fabric.AddHost("client" + std::to_string(c)));
+    clients.push_back(std::make_unique<tx::PrismTxClient>(
+        &fabric, client_hosts[c], &cluster, static_cast<uint16_t>(c + 1)));
+    clients[c]->set_history(&history);
+  }
+
+  chaos::ChaosOptions copts = ExploreChaosOptions(seed);
+  copts.crashable = {0, 1};
+  copts.max_concurrent_crashes = 1;
+  copts.partition_hosts = {0, 1};
+  for (net::HostId h : client_hosts) copts.partition_hosts.push_back(h);
+  chaos::ChaosMonkey monkey(&fabric, copts);
+  ApplyDisabledWindows(&monkey, disabled);
+  monkey.Arm();
+
+  sim::TaskTracker tracker;
+  for (int c = 0; c < kClients; ++c) {
+    sim::Spawn(
+        [&, c]() -> Task<void> {
+          Rng rng(seed * 977 + static_cast<uint64_t>(c));
+          for (int t = 0; t < kTxPerClient; ++t) {
+            tx::Transaction txn = clients[c]->Begin();
+            const uint64_t rk = rng.NextBelow(kKeys);
+            const uint64_t wk = rng.NextBelow(kKeys);
+            auto read = co_await clients[c]->Read(txn, rk);
+            (void)read;
+            clients[c]->Write(txn, wk, UniqueValue(kValueSize, seed, c, t));
+            (void)co_await clients[c]->Commit(txn);
+            co_await sim::SleepFor(&sim,
+                                   sim::Micros(rng.NextInRange(20, 120)));
+          }
+        },
+        &tracker);
+  }
+  sim.Run();
+
+  RunOutcome out;
+  out.fault_windows = monkey.window_count();
+  out.fault_schedule = monkey.Describe();
+  if (tracker.live() > 0) {
+    out.executed_events = sim.executed_events();
+    Fail(&out, "hang", "TX clients still live after the sim drained");
+    return out;
+  }
+
+  // Quiescent probe: one more read-only transaction over every key. It is a
+  // real transaction recorded in the same history, so CheckReadCommitted
+  // validates the final state for free — every value it observes must trace
+  // to a committed (or indeterminately-committed) write.
+  sim::TaskTracker final_tracker;
+  sim::Spawn(
+      [&]() -> Task<void> {
+        tx::Transaction txn = clients[0]->Begin();
+        for (uint64_t k = 0; k < kKeys; ++k) {
+          auto read = co_await clients[0]->Read(txn, k);
+          (void)read;
+        }
+        (void)co_await clients[0]->Commit(txn);
+      },
+      &final_tracker);
+  sim.Run();
+
+  out.executed_events = sim.executed_events();
+  out.history_fingerprint = TxFingerprint(history.txns());
+  if (final_tracker.live() > 0) {
+    Fail(&out, "hang", "TX final probe still live after the sim drained");
+    return out;
+  }
+  check::CheckResult rc = check::CheckReadCommitted(history.txns(), initial);
+  if (!rc.ok) Fail(&out, "read-committed", std::move(rc.error));
+  return out;
+}
+
+}  // namespace
+
+const char* WorkloadName(Workload kind) {
+  return kWorkloadNames[static_cast<int>(kind)];
+}
+
+bool WorkloadFromName(std::string_view name, Workload* out) {
+  for (int i = 0; i < 4; ++i) {
+    if (name == kWorkloadNames[i]) {
+      *out = static_cast<Workload>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+RunOutcome RunWorkload(const WorkloadOptions& opts) {
+  switch (opts.kind) {
+    case Workload::kToy:
+      return RunToy(opts.seed, opts.hook);
+    case Workload::kRs:
+      return RunRs(opts.seed, opts.hook, opts.disabled_windows);
+    case Workload::kKv:
+      return RunKv(opts.seed, opts.hook, opts.disabled_windows);
+    case Workload::kTx:
+      return RunTx(opts.seed, opts.hook, opts.disabled_windows);
+  }
+  return RunOutcome{};
+}
+
+}  // namespace prism::explore

@@ -1,0 +1,64 @@
+// Explorable workload harness: one self-contained simulated execution per
+// call — build simulator (install the schedule hook FIRST, before any event
+// exists), fabric, service stack, chaos schedule (with selected fault
+// windows disabled), clients; run to completion; then perform quiescent
+// final reads and run every applicable checker plus the differential
+// final-state oracle (oracle.h).
+//
+// Workloads are deliberately small cousins of the chaos_test sweeps: the
+// explorer multiplies each (workload, seed) point by N perturbed schedules
+// and the shrinker re-runs it dozens more times, so per-run cost matters.
+//
+// Determinism: RunWorkload is a pure function of (kind, seed, hook
+// decisions, disabled windows). With hook == nullptr the production engine
+// runs untouched; with an IdentityHook the event order — and therefore
+// executed_events and history_fingerprint — is bit-identical to that
+// (explore_test pins this down).
+#ifndef PRISM_SRC_EXPLORE_WORKLOADS_H_
+#define PRISM_SRC_EXPLORE_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace prism::explore {
+
+enum class Workload {
+  kToy,  // buggy primary/backup register (toy_replica.h) — no chaos
+  kRs,   // PRISM-RS: 3-replica ABD under chaos
+  kKv,   // PRISM-KV: single server under chaos
+  kTx,   // PRISM-TX: 2 shards under chaos, read-committed
+};
+
+const char* WorkloadName(Workload kind);
+bool WorkloadFromName(std::string_view name, Workload* out);
+
+struct RunOutcome {
+  bool ok = true;
+  std::string check_name;  // failing check: linearizability | final-state |
+                           // read-committed | hang
+  std::string error;       // witness from the failing check
+  bool hang = false;
+  int fault_windows = 0;       // windows in this seed's chaos schedule
+  std::string fault_schedule;  // ChaosMonkey::Describe() for the banner
+  uint64_t executed_events = 0;
+  uint64_t history_fingerprint = 0;  // FNV over every recorded op
+};
+
+struct WorkloadOptions {
+  Workload kind = Workload::kToy;
+  uint64_t seed = 1;
+  // Schedule hook to install (not owned); nullptr = production engine.
+  sim::ScheduleHook* hook = nullptr;
+  // Chaos fault windows to drop (see ChaosMonkey::SetWindowDisabled).
+  const std::vector<int>* disabled_windows = nullptr;
+};
+
+RunOutcome RunWorkload(const WorkloadOptions& opts);
+
+}  // namespace prism::explore
+
+#endif  // PRISM_SRC_EXPLORE_WORKLOADS_H_

@@ -26,6 +26,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
+
+#include "src/common/logging.h"
 #include <functional>
 #include <optional>
 #include <string>
@@ -63,16 +65,26 @@ inline int JobsFromArgs(int argc, char** argv) {
 
 struct SweepOptions {
   int jobs = 0;  // <= 0 resolves to DefaultJobs()
+
+  // Optional early-stop token (RunSweepNoThrow only): a worker observing
+  // `cancel` true stops claiming points; already-started points run to
+  // completion. Unstarted points come back with neither value nor error
+  // (PointResult::skipped()). The schedule-space explorer uses this to cut
+  // a long sweep short once a counterexample is in hand; note that WHICH
+  // points get skipped depends on timing and job count, so deterministic
+  // callers must leave it null.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
-// Outcome slot for one sweep point: exactly one of value/error is set once
-// the sweep returns.
+// Outcome slot for one sweep point: value, error, or skipped (the sweep was
+// cancelled before the point started) once the sweep returns.
 template <typename R>
 struct PointResult {
   std::optional<R> value;
   std::exception_ptr error;
 
   bool ok() const { return value.has_value(); }
+  bool skipped() const { return !value.has_value() && error == nullptr; }
 };
 
 // A sweep point: a self-contained factory that builds its simulation, runs
@@ -95,12 +107,17 @@ std::vector<PointResult<R>> RunSweepNoThrow(
     }
   };
 
+  auto cancelled = [&] {
+    return opts.cancel != nullptr &&
+           opts.cancel->load(std::memory_order_relaxed);
+  };
+
   int jobs = opts.jobs > 0 ? opts.jobs : DefaultJobs();
   if (static_cast<size_t>(jobs) > n) jobs = static_cast<int>(n);
   if (jobs <= 1) {
     // Serial lane: inline, in index order, on the calling thread — exactly
     // the historical `for (point : sweep)` loop.
-    for (size_t i = 0; i < n; ++i) run_point(i);
+    for (size_t i = 0; i < n && !cancelled(); ++i) run_point(i);
     return results;
   }
 
@@ -114,6 +131,7 @@ std::vector<PointResult<R>> RunSweepNoThrow(
   for (int w = 0; w < jobs; ++w) {
     pool.emplace_back([&] {
       for (;;) {
+        if (cancelled()) return;
         const size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return;
         run_point(i);
@@ -131,6 +149,8 @@ std::vector<PointResult<R>> RunSweepNoThrow(
 template <typename R>
 std::vector<R> RunSweep(const std::vector<SweepPoint<R>>& points,
                         const SweepOptions& opts = {}) {
+  PRISM_CHECK(opts.cancel == nullptr)
+      << "cancel tokens require RunSweepNoThrow (skipped slots have no R)";
   std::vector<PointResult<R>> raw = RunSweepNoThrow(points, opts);
   std::vector<R> out;
   out.reserve(raw.size());

@@ -39,6 +39,16 @@ Result<MemoryRegion> AddressSpace::CarveAndRegister(uint64_t bytes,
   return Register(base, bytes, access, attrs);
 }
 
+Status AddressSpace::Deregister(RKey rkey) {
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    if (regions_[i].rkey == rkey) {
+      regions_.erase(regions_.begin() + static_cast<ptrdiff_t>(i));
+      return OkStatus();
+    }
+  }
+  return NotFound("rkey not registered");
+}
+
 Status AddressSpace::Validate(RKey rkey, Addr addr, uint64_t len,
                               uint32_t need) const {
   const MemoryRegion* region = FindRegion(rkey);

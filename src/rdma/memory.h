@@ -70,6 +70,14 @@ class AddressSpace {
   Result<MemoryRegion> CarveAndRegister(uint64_t bytes, uint32_t access,
                                         uint32_t attrs = kHostMemory);
 
+  // Invalidates a registration: subsequent Validate() calls against this
+  // rkey NACK with PermissionDenied, exactly as a real NIC MPT drops an
+  // MR on ibv_dereg_mr. Operations already in flight are unaffected until
+  // they reach validation (validation happens at the target on delivery),
+  // which is what makes revoke-while-in-flight races observable. kNotFound
+  // for an rkey that was never minted (or already deregistered).
+  Status Deregister(RKey rkey);
+
   // Validates that [addr, addr+len) lies inside the region named by rkey and
   // that the region grants `need` rights. Mirrors NIC MPT/MTT checks: an
   // unknown rkey, a range escaping the region, or missing rights all NACK.

@@ -44,6 +44,48 @@
 
 namespace prism::sim {
 
+// ---- schedule-space exploration hook (src/explore) ----
+//
+// A ScheduleHook lets a test harness observe and reorder the simulator's
+// *enabled set*: all pending events whose timestamp lies within
+// [earliest.when, earliest.when + window()]. Events at equal timestamps are
+// semantically unordered ties, and events within the window model delivery
+// jitter of up to `window()` nanoseconds — both are legal schedules of the
+// same program. Soundness bound: an event can never fire before its
+// scheduled time, and it fires no later than earliest_pending.when +
+// window() (while it is pending it anchors the window), so every event
+// executes within [when, when + window()].
+//
+// The hook must be installed on an empty simulator (before any Schedule
+// call). With no hook installed the engine below is untouched — the
+// production calendar-queue path runs and (when, seq) replay stays
+// bit-identical. With a hook that always picks index 0 the execution order
+// is also bit-identical (index 0 is the least (when, seq) entry), which is
+// the identity-schedule property obs_determinism_test pins down.
+
+// One concurrently-enabled event, exposed to ScheduleHook::Pick. Entries
+// arrive sorted by (when, seq); seq is the global scheduling sequence
+// number, so a hook can recognize FIFO order among ties.
+struct EnabledEvent {
+  TimePoint when = 0;
+  uint64_t seq = 0;
+};
+
+class ScheduleHook {
+ public:
+  virtual ~ScheduleHook() = default;
+
+  // Width of the enabled window beyond the earliest pending timestamp.
+  // 0 restricts reordering to same-timestamp ties.
+  virtual Duration window() const = 0;
+
+  // Picks the event to fire next from `enabled` (size >= 1, sorted by
+  // (when, seq)). Out-of-range returns fall back to index 0. Called exactly
+  // once per fired event, so implementations may count invocations to
+  // address decisions by step index.
+  virtual size_t Pick(const std::vector<EnabledEvent>& enabled) = 0;
+};
+
 namespace internal {
 
 // A pooled, type-erased event callable. It lives in `storage` (or, for
@@ -174,6 +216,7 @@ class Simulator {
 
   ~Simulator() {
     // Dispose (without running) every pending callable.
+    for (const internal::EventRef& e : hooked_) DisposeOnly(e);
     while (!ring_.empty()) {
       DisposeOnly(ring_.Front());
       ring_.Pop();
@@ -188,6 +231,17 @@ class Simulator {
   }
 
   TimePoint Now() const { return now_; }
+
+  // Installs (or clears, with nullptr) the exploration hook. Only legal on
+  // an empty simulator: the hooked lane and the production lanes never hold
+  // events at the same time.
+  void SetScheduleHook(ScheduleHook* hook) {
+    PRISM_CHECK_EQ(pending_, size_t{0})
+        << "ScheduleHook must be installed before any event is scheduled";
+    hook_ = hook;
+  }
+
+  ScheduleHook* schedule_hook() const { return hook_; }
 
   // Schedules `fn` to run at Now() + delay. delay may be zero; FIFO order
   // among equal timestamps is guaranteed. Accepts any callable, including
@@ -205,6 +259,15 @@ class Simulator {
     Bind(rec, std::forward<F>(fn));
     const internal::EventRef e{when, next_seq_++, rec};
     ++pending_;
+    if (hook_ != nullptr) {
+      // Exploration lane: one sorted vector, kept ordered by (when, seq) at
+      // insert. Engine stats are not maintained here — perturbed runs are
+      // not comparable to production lane counts anyway.
+      hooked_.insert(std::upper_bound(hooked_.begin(), hooked_.end(), e,
+                                      internal::EarlierThan),
+                     e);
+      return;
+    }
     if (when == now_) {
       ++stats_.zero_delay_events;
       ring_.Push(e);
@@ -234,6 +297,12 @@ class Simulator {
   // Runs events with timestamp <= deadline; leaves Now() == deadline if the
   // queue drained or the next event is later.
   void RunUntil(TimePoint deadline) {
+    if (hook_ != nullptr) {
+      while (StepHooked(&deadline)) {
+      }
+      if (now_ < deadline) now_ = deadline;
+      return;
+    }
     for (;;) {
       const internal::EventRef* e = PeekNext();
       if (e == nullptr || e->when > deadline) break;
@@ -246,6 +315,7 @@ class Simulator {
 
   // Executes the next event. Returns false if the queue is empty.
   bool Step() {
+    if (hook_ != nullptr) return StepHooked(nullptr);
     const internal::EventRef* e = PeekNext();
     if (e == nullptr) return false;
     PopAndFire(*e);
@@ -266,6 +336,35 @@ class Simulator {
     std::coroutine_handle<> h;
     void operator()() const { h.resume(); }
   };
+
+  // ---- exploration lane (ScheduleHook installed) ----
+  //
+  // Fires one event chosen by the hook from the enabled window. `deadline`
+  // (when non-null) restricts the window to events at or before it, so
+  // RunUntil keeps its contract under exploration. The chosen event fires
+  // at max(now_, e.when): picking a later enabled event first *delays* the
+  // earlier ones, modelling delivery jitter bounded by the hook's window.
+  bool StepHooked(const TimePoint* deadline) {
+    if (hooked_.empty()) return false;
+    if (deadline != nullptr && hooked_.front().when > *deadline) return false;
+    TimePoint cutoff = hooked_.front().when + hook_->window();
+    if (deadline != nullptr && cutoff > *deadline) cutoff = *deadline;
+    size_t n = 1;
+    while (n < hooked_.size() && hooked_[n].when <= cutoff) ++n;
+    enabled_scratch_.clear();
+    for (size_t i = 0; i < n; ++i) {
+      enabled_scratch_.push_back({hooked_[i].when, hooked_[i].seq});
+    }
+    size_t pick = hook_->Pick(enabled_scratch_);
+    if (pick >= n) pick = 0;
+    const internal::EventRef e = hooked_[pick];
+    hooked_.erase(hooked_.begin() + static_cast<ptrdiff_t>(pick));
+    --pending_;
+    if (e.when > now_) now_ = e.when;
+    e.rec->op(e.rec, /*run=*/true);
+    pool_.Free(e.rec);
+    return true;
+  }
 
   // ---- callable binding ----
 
@@ -479,6 +578,12 @@ class Simulator {
 
   internal::EventPool pool_;
   internal::EventRing ring_;
+
+  // Exploration lane (empty unless a ScheduleHook is installed): every
+  // pending event, sorted by (when, seq).
+  ScheduleHook* hook_ = nullptr;
+  std::vector<internal::EventRef> hooked_;
+  std::vector<EnabledEvent> enabled_scratch_;
 
   // Calendar queue state. due_ holds every pending timer with slot <=
   // opened_slot_, sorted by (when, seq); due_idx_ is the consumed prefix.

@@ -162,6 +162,102 @@ TEST(SweepHarnessTest, EmptySweepAndOversizedPool) {
   EXPECT_EQ(out, (std::vector<int>{1, 2}));
 }
 
+TEST(SweepHarnessTest, ThrowInLastSlotStillJoinsAndRethrows) {
+  // The poisoned point is the LAST index: the pool must not lose the
+  // exception when workers are already draining, and every earlier point
+  // still completes.
+  for (int jobs : {1, 2, 8, 16}) {
+    std::atomic<int> completed{0};
+    std::vector<harness::SweepPoint<int>> points;
+    for (int i = 0; i < 9; ++i) {
+      points.push_back([i, &completed] {
+        completed.fetch_add(1);
+        return i;
+      });
+    }
+    points.push_back([]() -> int {
+      throw std::runtime_error("last slot");
+    });
+    try {
+      harness::RunSweep(points, harness::SweepOptions{jobs});
+      FAIL() << "expected throw, jobs=" << jobs;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "last slot") << "jobs=" << jobs;
+    }
+    EXPECT_EQ(completed.load(), 9) << "jobs=" << jobs;
+  }
+}
+
+TEST(SweepHarnessTest, EmptyPointSetNeverDeadlocksOrThrows) {
+  // Zero points with an oversized pool: the pool clamps to zero workers,
+  // returns immediately, and there is no spurious rethrow from the empty
+  // result scan — in both throwing and no-throw variants.
+  const std::vector<harness::SweepPoint<int>> none;
+  for (int jobs : {1, 4, 32}) {
+    EXPECT_TRUE(harness::RunSweep(none, harness::SweepOptions{jobs}).empty())
+        << "jobs=" << jobs;
+    EXPECT_TRUE(
+        harness::RunSweepNoThrow(none, harness::SweepOptions{jobs}).empty())
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(SweepHarnessTest, ManyMoreJobsThanPointsIsBitIdentical) {
+  // jobs far beyond the point count: the clamp means no worker spins on an
+  // empty ticket range, and results match the serial lane exactly.
+  const auto points = FingerprintPoints(3);
+  const auto serial = harness::RunSweep(points, harness::SweepOptions{1});
+  const auto flooded = harness::RunSweep(points, harness::SweepOptions{64});
+  EXPECT_EQ(flooded, serial);
+}
+
+TEST(SweepHarnessTest, PreCancelledSweepSkipsEverything) {
+  std::atomic<bool> cancel{true};
+  std::atomic<int> ran{0};
+  std::vector<harness::SweepPoint<int>> points;
+  for (int i = 0; i < 8; ++i) {
+    points.push_back([&ran] {
+      ran.fetch_add(1);
+      return 0;
+    });
+  }
+  for (int jobs : {1, 4}) {
+    harness::SweepOptions opts{jobs};
+    opts.cancel = &cancel;
+    const auto results = harness::RunSweepNoThrow(points, opts);
+    ASSERT_EQ(results.size(), 8u);
+    for (const auto& r : results) {
+      EXPECT_TRUE(r.skipped());
+      EXPECT_FALSE(r.ok());
+      EXPECT_TRUE(r.error == nullptr);
+    }
+  }
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(SweepHarnessTest, CancelMidSweepFinishesStartedPointsOnly) {
+  // Serial lane, cancel raised by point 2: points 0..2 ran (a started point
+  // always completes), everything after comes back skipped — and skipped
+  // slots are distinguishable from errors.
+  std::atomic<bool> cancel{false};
+  std::vector<harness::SweepPoint<int>> points;
+  for (int i = 0; i < 6; ++i) {
+    points.push_back([i, &cancel] {
+      if (i == 2) cancel.store(true);
+      return i * 10;
+    });
+  }
+  harness::SweepOptions opts{1};
+  opts.cancel = &cancel;
+  const auto results = harness::RunSweepNoThrow(points, opts);
+  ASSERT_EQ(results.size(), 6u);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(results[static_cast<size_t>(i)].ok()) << i;
+    EXPECT_EQ(*results[static_cast<size_t>(i)].value, i * 10);
+  }
+  for (size_t i = 3; i < 6; ++i) EXPECT_TRUE(results[i].skipped()) << i;
+}
+
 TEST(SweepHarnessTest, SweepRunnerWrapsSameSemantics) {
   harness::SweepRunner runner(2);
   EXPECT_EQ(runner.jobs(), 2);

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "src/rdma/qp.h"
+#include "src/rdma/service.h"
+#include "src/rdma/verbs.h"
 #include "src/sim/task.h"
 
 namespace prism::rdma {
@@ -192,6 +194,177 @@ TEST(SrqTest, MultipleQpsShareOneReceiveQueue) {
     EXPECT_EQ(s.code(), Code::kResourceExhausted);
   });
   sim.Run();
+}
+
+// ---------- Verb edge cases: boundary masks, zero-length ops, revocation ----
+
+class VerbEdgeTest : public ::testing::Test {
+ protected:
+  VerbEdgeTest() : mem_(1 << 16) {
+    region_ = *mem_.CarveAndRegister(64, kRemoteAll);
+    mem_.StoreWord(region_.base, 0x1122334455667788ull);
+  }
+
+  AddressSpace mem_;
+  MemoryRegion region_;
+};
+
+TEST_F(VerbEdgeTest, MaskedCasAllOnesMasksBehavesAsPlainCas) {
+  const Bytes ones(8, 0xff);
+  // Mismatched compare: no swap, old value returned — same as CompareSwap.
+  auto miss = Verbs::MaskedCompareSwap(mem_, region_.rkey, region_.base,
+                                       BytesOfU64(0xdead), BytesOfU64(0xbeef),
+                                       ones, ones, CasCompare::kEqual);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss->swapped);
+  EXPECT_EQ(LoadU64(miss->old_value.data()), 0x1122334455667788ull);
+  EXPECT_EQ(mem_.LoadWord(region_.base), 0x1122334455667788ull);
+  // Matching compare: every byte swaps, exactly like the 8-byte atomic.
+  auto hit = Verbs::MaskedCompareSwap(
+      mem_, region_.rkey, region_.base, BytesOfU64(0x1122334455667788ull),
+      BytesOfU64(0xbeef), ones, ones, CasCompare::kEqual);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->swapped);
+  EXPECT_EQ(mem_.LoadWord(region_.base), 0xbeefull);
+}
+
+TEST_F(VerbEdgeTest, MaskedCasAllZeroCmpMaskAlwaysMatchesOnEqual) {
+  // cmp_mask = 0 compares 0 == 0: an unconditional swap of the masked bytes.
+  const Bytes zeros(8, 0x00), ones(8, 0xff);
+  auto r = Verbs::MaskedCompareSwap(mem_, region_.rkey, region_.base,
+                                    BytesOfU64(0x9999), BytesOfU64(0x4242),
+                                    zeros, ones, CasCompare::kEqual);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->swapped);
+  EXPECT_EQ(mem_.LoadWord(region_.base), 0x4242ull);
+}
+
+TEST_F(VerbEdgeTest, MaskedCasAllZeroCmpMaskNeverMatchesStrictCompare) {
+  // Under kGreater/kLess a zero cmp_mask makes both operands equal, and the
+  // strict comparison must fail — the swap never fires.
+  const Bytes zeros(8, 0x00), ones(8, 0xff);
+  for (CasCompare mode : {CasCompare::kGreater, CasCompare::kLess}) {
+    auto r = Verbs::MaskedCompareSwap(mem_, region_.rkey, region_.base,
+                                      BytesOfU64(0x7777), BytesOfU64(0x4242),
+                                      zeros, ones, mode);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r->swapped);
+  }
+  EXPECT_EQ(mem_.LoadWord(region_.base), 0x1122334455667788ull);
+}
+
+TEST_F(VerbEdgeTest, MaskedCasAllZeroSwapMaskSwapsNothing) {
+  // The compare succeeds (reports swapped) but a zero swap_mask preserves
+  // every target byte: a pure masked-read-with-predicate.
+  const Bytes zeros(8, 0x00), ones(8, 0xff);
+  auto r = Verbs::MaskedCompareSwap(
+      mem_, region_.rkey, region_.base, BytesOfU64(0x1122334455667788ull),
+      BytesOfU64(0xffffffffffffffffull), ones, zeros, CasCompare::kEqual);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->swapped);
+  EXPECT_EQ(mem_.LoadWord(region_.base), 0x1122334455667788ull);
+}
+
+TEST_F(VerbEdgeTest, ZeroLengthReadAndWrite) {
+  // len = 0 is legal anywhere inside the region, including one past the
+  // last byte (the [base, base+length] fencepost).
+  auto r = Verbs::Read(mem_, region_.rkey, region_.base + region_.length, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+  EXPECT_TRUE(
+      Verbs::Write(mem_, region_.rkey, region_.base + region_.length, Bytes())
+          .ok());
+  EXPECT_EQ(mem_.LoadWord(region_.base), 0x1122334455667788ull);
+  // Validation still applies: a zero-length op with a bogus rkey NACKs, and
+  // one past the region end is out of range even for zero bytes.
+  EXPECT_EQ(Verbs::Read(mem_, region_.rkey + 99, region_.base, 0).code(),
+            Code::kPermissionDenied);
+  EXPECT_EQ(
+      Verbs::Read(mem_, region_.rkey, region_.base + region_.length + 1, 0)
+          .code(),
+      Code::kOutOfRange);
+}
+
+TEST_F(VerbEdgeTest, DeregisterInvalidatesRkey) {
+  EXPECT_TRUE(mem_.Deregister(region_.rkey).ok());
+  EXPECT_EQ(Verbs::Read(mem_, region_.rkey, region_.base, 8).code(),
+            Code::kPermissionDenied);
+  // Double free and never-minted rkeys are kNotFound.
+  EXPECT_EQ(mem_.Deregister(region_.rkey).code(), Code::kNotFound);
+  EXPECT_EQ(mem_.Deregister(0xdead).code(), Code::kNotFound);
+}
+
+// In-flight revocation: validation happens at the target on delivery, so an
+// rkey revoked after the client posts but before the request reaches server
+// memory NACKs with PermissionDenied — the same wire behaviour as a remote
+// access after ibv_dereg_mr.
+class RevokeInFlightTest : public ::testing::Test {
+ protected:
+  RevokeInFlightTest()
+      : fabric_(&sim_, net::CostModel::EvalCluster40G()),
+        server_(fabric_.AddHost("server")),
+        client_host_(fabric_.AddHost("client")),
+        mem_(1 << 18),
+        service_(&fabric_, server_, Backend::kHardwareNic, &mem_),
+        client_(&fabric_, client_host_) {
+    region_ = *mem_.CarveAndRegister(4096, kRemoteAll);
+    mem_.Store(region_.base, Bytes(64, 0x5a));
+  }
+
+  sim::Simulator sim_;
+  net::Fabric fabric_;
+  net::HostId server_;
+  net::HostId client_host_;
+  AddressSpace mem_;
+  RdmaService service_;
+  RdmaClient client_;
+  MemoryRegion region_;
+};
+
+TEST_F(RevokeInFlightTest, ReadNacksWhenRkeyRevokedMidFlight) {
+  sim::TimePoint nack_at = 0;
+  sim::Spawn([&]() -> Task<void> {
+    auto r = co_await client_.Read(&service_, region_.rkey, region_.base, 64);
+    EXPECT_EQ(r.code(), Code::kPermissionDenied);
+    nack_at = sim_.Now();
+  });
+  // One-sided hardware reads complete in ~2.5 µs; revoking at 500 ns lands
+  // after the post but before server-side validation.
+  sim_.Schedule(sim::Nanos(500),
+                [&] { EXPECT_TRUE(mem_.Deregister(region_.rkey).ok()); });
+  sim_.Run();
+  EXPECT_GT(nack_at, sim::Nanos(500));
+  // The NACK is a real response, not a client-side timeout.
+  EXPECT_LT(nack_at, RdmaClient::kOpTimeout);
+  EXPECT_EQ(service_.ops_executed(), 1u);  // the op reached the server path
+}
+
+TEST_F(RevokeInFlightTest, WriteNacksAndLeavesMemoryUntouched) {
+  const Bytes before = mem_.Load(region_.base, 64);
+  sim::Spawn([&]() -> Task<void> {
+    Status s = co_await client_.Write(&service_, region_.rkey, region_.base,
+                                      Bytes(64, 0xee));
+    EXPECT_EQ(s.code(), Code::kPermissionDenied);
+  });
+  sim_.Schedule(sim::Nanos(500),
+                [&] { EXPECT_TRUE(mem_.Deregister(region_.rkey).ok()); });
+  sim_.Run();
+  EXPECT_EQ(mem_.Load(region_.base, 64), before);
+}
+
+TEST_F(RevokeInFlightTest, RevokeAfterDeliveryDoesNotAffectCompletedOp) {
+  sim::Spawn([&]() -> Task<void> {
+    auto r = co_await client_.Read(&service_, region_.rkey, region_.base, 64);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r->size(), 64u);
+    // Revoke after completion: the returned data stays valid, only new ops
+    // are rejected.
+    EXPECT_TRUE(mem_.Deregister(region_.rkey).ok());
+    auto again =
+        co_await client_.Read(&service_, region_.rkey, region_.base, 64);
+    EXPECT_EQ(again.code(), Code::kPermissionDenied);
+  });
+  sim_.Run();
 }
 
 }  // namespace

@@ -441,6 +441,151 @@ TEST(SimulatorTest, ZeroDelayFastPathAllocatesNothing) {
   EXPECT_EQ(fired, kWidth * 1000);
 }
 
+// ---------- schedule-space exploration hook ----------
+
+// Records every enabled window it is shown and picks a scripted index.
+class ScriptedHook : public ScheduleHook {
+ public:
+  ScriptedHook(Duration window, std::vector<size_t> picks)
+      : window_(window), picks_(std::move(picks)) {}
+
+  Duration window() const override { return window_; }
+  size_t Pick(const std::vector<EnabledEvent>& enabled) override {
+    windows_.push_back(enabled);
+    if (next_ < picks_.size()) return picks_[next_++];
+    return 0;
+  }
+
+  const std::vector<std::vector<EnabledEvent>>& windows() const {
+    return windows_;
+  }
+
+ private:
+  Duration window_;
+  std::vector<size_t> picks_;
+  size_t next_ = 0;
+  std::vector<std::vector<EnabledEvent>> windows_;
+};
+
+TEST(ScheduleHookTest, EnabledWindowIsSortedAndBounded) {
+  Simulator sim;
+  ScriptedHook hook(/*window=*/Nanos(200), /*picks=*/{});
+  sim.SetScheduleHook(&hook);
+  std::vector<int> fired;
+  sim.Schedule(Nanos(100), [&] { fired.push_back(0); });
+  sim.Schedule(Nanos(100), [&] { fired.push_back(1); });
+  sim.Schedule(Nanos(150), [&] { fired.push_back(2); });
+  sim.Schedule(Nanos(400), [&] { fired.push_back(3); });
+  sim.Run();
+  // Identity picks: production order.
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3}));
+  ASSERT_EQ(hook.windows().size(), 4u);
+  // First window: the two ties at 100 plus 150 (within 100+200); the event
+  // at 400 is outside. Entries sorted by (when, seq).
+  const auto& w0 = hook.windows()[0];
+  ASSERT_EQ(w0.size(), 3u);
+  EXPECT_EQ(w0[0].when, Nanos(100));
+  EXPECT_EQ(w0[1].when, Nanos(100));
+  EXPECT_LT(w0[0].seq, w0[1].seq);
+  EXPECT_EQ(w0[2].when, Nanos(150));
+  // Last window: only the 400 ns event remains.
+  EXPECT_EQ(hook.windows()[3].size(), 1u);
+}
+
+TEST(ScheduleHookTest, PickedEventFiresAtItsOwnTimeAndDelaysTheRest) {
+  Simulator sim;
+  // One decision: from the first window pick index 2 (the 150 ns event).
+  ScriptedHook hook(Nanos(200), {2});
+  sim.SetScheduleHook(&hook);
+  std::vector<std::pair<int, TimePoint>> fired;
+  sim.Schedule(Nanos(100), [&] { fired.push_back({0, sim.Now()}); });
+  sim.Schedule(Nanos(100), [&] { fired.push_back({1, sim.Now()}); });
+  sim.Schedule(Nanos(150), [&] { fired.push_back({2, sim.Now()}); });
+  sim.Run();
+  ASSERT_EQ(fired.size(), 3u);
+  // The 150 ns event jumps the queue and fires at its scheduled time —
+  // never earlier (no premature execution).
+  EXPECT_EQ(fired[0], (std::pair<int, TimePoint>{2, Nanos(150)}));
+  // The delayed ties fire afterwards, late but in FIFO order, within the
+  // soundness bound when + window.
+  EXPECT_EQ(fired[1].first, 0);
+  EXPECT_EQ(fired[2].first, 1);
+  for (size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_GE(fired[i].second, Nanos(100));
+    EXPECT_LE(fired[i].second, Nanos(100) + Nanos(200));
+  }
+}
+
+TEST(ScheduleHookTest, AdversarialPicksStayWithinSoundnessBound) {
+  // Always pick the LAST enabled event: maximal reordering pressure. Every
+  // event must still fire within [when, when + window], and all of them
+  // must fire exactly once.
+  Simulator sim;
+  class LastHook : public ScheduleHook {
+   public:
+    Duration window() const override { return Nanos(300); }
+    size_t Pick(const std::vector<EnabledEvent>& enabled) override {
+      return enabled.size() - 1;
+    }
+  } hook;
+  sim.SetScheduleHook(&hook);
+  std::vector<std::pair<TimePoint, TimePoint>> fired;  // (scheduled, actual)
+  for (int i = 0; i < 64; ++i) {
+    const TimePoint when = Nanos(50 * (i % 16));
+    sim.ScheduleAt(when, [&fired, when, &sim] {
+      fired.push_back({when, sim.Now()});
+    });
+  }
+  sim.Run();
+  ASSERT_EQ(fired.size(), 64u);
+  for (const auto& [when, at] : fired) {
+    EXPECT_GE(at, when);
+    EXPECT_LE(at, when + Nanos(300));
+  }
+}
+
+TEST(ScheduleHookTest, OutOfRangePickFallsBackToFront) {
+  Simulator sim;
+  ScriptedHook hook(Nanos(100), {99, 99, 99});
+  sim.SetScheduleHook(&hook);
+  std::vector<int> fired;
+  sim.Schedule(Nanos(10), [&] { fired.push_back(0); });
+  sim.Schedule(Nanos(20), [&] { fired.push_back(1); });
+  sim.Run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1}));
+}
+
+TEST(ScheduleHookTest, RunUntilDeadlineHoldsUnderHook) {
+  Simulator sim;
+  // Generous window that would otherwise let the 120 ns event into the
+  // first enabled set; the deadline must clip it.
+  ScriptedHook hook(Nanos(1000), {1});
+  sim.SetScheduleHook(&hook);
+  std::vector<int> fired;
+  sim.Schedule(Nanos(50), [&] { fired.push_back(0); });
+  sim.Schedule(Nanos(120), [&] { fired.push_back(1); });
+  sim.RunUntil(Nanos(100));
+  // Only the 50 ns event ran (the scripted pick of index 1 was clipped to
+  // the lone in-deadline event and fell back to it).
+  EXPECT_EQ(fired, (std::vector<int>{0}));
+  EXPECT_EQ(sim.Now(), Nanos(100));
+  sim.Run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1}));
+}
+
+TEST(ScheduleHookTest, HookedEventsDisposedOnDestruction) {
+  ScriptedHook hook(Nanos(100), {});
+  auto guard = std::make_shared<int>(7);
+  {
+    Simulator sim;
+    sim.SetScheduleHook(&hook);
+    sim.Schedule(Nanos(10), [guard] { (void)*guard; });
+    EXPECT_EQ(guard.use_count(), 2);
+  }
+  // The undrained hooked event was destroyed, not leaked.
+  EXPECT_EQ(guard.use_count(), 1);
+}
+
 TEST(SleepTest, ZeroSleepYields) {
   Simulator sim;
   std::vector<int> order;
