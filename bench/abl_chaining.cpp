@@ -25,7 +25,7 @@ using sim::ToMicros;
 workload::LoadPoint PointOf(double us, const sim::Simulator& sim) {
   workload::LoadPoint p;
   p.clients = 1;
-  p.mean_us = p.p50_us = p.p99_us = us;
+  p.mean_us = p.p50_us = p.p99_us = p.p999_us = us;
   p.sim_events = sim.executed_events();
   return p;
 }

@@ -93,9 +93,11 @@ class FigureReporter {
         if (!std::isnan(s.x[i])) w.Field("x", s.x[i]);
         w.Field("clients", p.clients);
         w.Field("tput_mops", p.tput_mops);
+        if (p.offered_mops > 0) w.Field("offered_mops", p.offered_mops);
         w.Field("mean_us", p.mean_us);
         w.Field("p50_us", p.p50_us);
         w.Field("p99_us", p.p99_us);
+        w.Field("p999_us", p.p999_us);
         w.Field("abort_rate", p.abort_rate);
         w.Field("sim_events", p.sim_events);
         if (!p.ops.empty()) {
@@ -112,6 +114,8 @@ class FigureReporter {
             w.Field("bytes_out", os.totals.bytes_out);
             w.Field("bytes_in", os.totals.bytes_in);
             w.Field("cpu_actions", os.totals.cpu_actions);
+            w.Field("doorbells", os.totals.doorbells);
+            w.Field("cq_polls", os.totals.cq_polls);
             if (os.count > 0) {
               w.Field("round_trips_per_op",
                       static_cast<double>(os.totals.round_trips) / n);
@@ -122,6 +126,15 @@ class FigureReporter {
                                           os.totals.bytes_in) / n);
               w.Field("cpu_actions_per_op",
                       static_cast<double>(os.totals.cpu_actions) / n);
+              // Client-side verb-layer CPU actions (doorbell rings + CQ
+              // drains): the per-op quantity doorbell batching and
+              // completion coalescing drive below 2.0.
+              w.Field("doorbells_per_op",
+                      static_cast<double>(os.totals.doorbells) / n);
+              w.Field("cq_polls_per_op",
+                      static_cast<double>(os.totals.cq_polls) / n);
+              w.Field("client_cpu_actions_per_op",
+                      static_cast<double>(os.totals.client_cpu_actions()) / n);
             }
             w.EndObject();
           }

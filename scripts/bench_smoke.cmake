@@ -116,7 +116,7 @@ foreach(s RANGE ${last_series})
   endif()
   math(EXPR last_point "${n_points} - 1")
   foreach(p RANGE ${last_point})
-    foreach(field clients tput_mops mean_us p50_us p99_us abort_rate
+    foreach(field clients tput_mops mean_us p50_us p99_us p999_us abort_rate
                   sim_events)
       string(JSON ignored GET "${figs}" ${figs_key} series ${s} points ${p}
              ${field})
@@ -203,8 +203,9 @@ if(n_ops LESS_EQUAL 0)
   message(FATAL_ERROR "entry ${figs_key} carries no per-op complexity rows")
 endif()
 foreach(field op count round_trips messages bytes_out bytes_in cpu_actions
-              round_trips_per_op messages_per_op bytes_per_op
-              cpu_actions_per_op)
+              doorbells cq_polls round_trips_per_op messages_per_op
+              bytes_per_op cpu_actions_per_op doorbells_per_op
+              cq_polls_per_op client_cpu_actions_per_op)
   string(JSON ignored GET "${figs}" ${figs_key} series 0 points 0 ops 0
          ${field})
 endforeach()
@@ -212,3 +213,74 @@ endforeach()
 message(STATUS "observability OK: stdout byte-identical under --trace, "
   "${n_events} trace events, ${n_mpoints} metric points, complexity fields "
   "present")
+
+if(NOT OVERLOAD_BIN)
+  return()
+endif()
+
+# ---- open-loop overload driver ----
+# A fast-mode sweep point: validates the fig_overload entry (offered_mops +
+# p999 tails + batching complexity rows; the driver itself PRISM_CHECKs that
+# batching cuts client CPU actions per op with round trips unchanged), then
+# the flat-memory guard at 100k clients (≤64 B marginal RSS per client).
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env PRISM_BENCH_FAST=1 ${OVERLOAD_BIN} --jobs=2
+  WORKING_DIRECTORY ${WORK_DIR}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fig_overload exited with ${rc}:\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "overload-assert")
+  message(FATAL_ERROR "fig_overload printed no batching assertions:\n${out}")
+endif()
+
+file(READ ${figs_path} figs)
+string(JSON n_series LENGTH "${figs}" fig_overload series)
+if(NOT n_series EQUAL 4)
+  message(FATAL_ERROR "fig_overload expected 4 series, got ${n_series}")
+endif()
+string(JSON n_points LENGTH "${figs}" fig_overload series 0 points)
+math(EXPR last_point "${n_points} - 1")
+math(EXPR last_series "${n_series} - 1")
+foreach(s RANGE ${last_series})
+  foreach(p RANGE ${last_point})
+    foreach(field clients offered_mops tput_mops mean_us p50_us p99_us
+                  p999_us sim_events)
+      string(JSON ignored GET "${figs}" fig_overload series ${s} points ${p}
+             ${field})
+    endforeach()
+    string(JSON n_ops LENGTH "${figs}" fig_overload series ${s} points ${p}
+           ops)
+    if(NOT n_ops EQUAL 2)
+      message(FATAL_ERROR
+        "fig_overload series ${s} point ${p}: expected 2 op rows, got ${n_ops}")
+    endif()
+    foreach(o RANGE 1)
+      foreach(field doorbells cq_polls doorbells_per_op cq_polls_per_op
+                    client_cpu_actions_per_op)
+        string(JSON ignored GET "${figs}" fig_overload series ${s} points ${p}
+               ops ${o} ${field})
+      endforeach()
+    endforeach()
+  endforeach()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env PRISM_BENCH_FAST=1
+          ${OVERLOAD_BIN} --guard=100000
+  WORKING_DIRECTORY ${WORK_DIR}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fig_overload --guard=100000 failed (${rc}):\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "guard: ok")
+  message(FATAL_ERROR "guard did not report ok:\n${out}")
+endif()
+
+message(STATUS "fig_overload OK: 4 series validated, flat-memory guard passed")

@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Full pre-merge check: tier-1 verify (ROADMAP.md), an ASan+UBSan build of
+# Full pre-merge check: tier-1 verify (ROADMAP.md), the open-loop overload
+# smoke (fig_overload batching invariant + the ≤64 B/client memory guard at
+# 1M logical clients), an ASan+UBSan build of
 # the whole tree with the sanitize-labeled test suite, the chaos sweeps, the
 # schedule-space exploration sweeps (label: explore), a ThreadSanitizer pass
 # over the threaded sweep-harness paths, and the gcov line-coverage floor on
@@ -39,6 +41,13 @@ echo "==> obs: traced figure smoke (--trace/--metrics must not perturb)"
     --trace=results/trace_check.json --metrics >/dev/null)
 test -s build/results/trace_check.json
 test -s build/results/METRICS_fig2_topology.json
+
+echo "==> overload: open-loop point + batching invariant (fig_overload)"
+(cd build && PRISM_BENCH_FAST=1 ./bench/fig_overload --jobs="$JOBS" \
+    >/dev/null)
+
+echo "==> overload: per-client memory guard (≤64 B/client at 1M clients)"
+(cd build && ./bench/fig_overload --guard=1000000)
 
 if [[ "$FAST" == 1 ]]; then
   echo "OK (fast: sanitizer pass skipped)"

@@ -46,7 +46,7 @@ void LatencyHistogram::Record(int64_t nanos) {
     max_ = std::max(max_, nanos);
   }
   count_++;
-  sum_ += static_cast<double>(nanos);
+  sum_ += nanos < 0 ? 0 : nanos;
 }
 
 void LatencyHistogram::Merge(const LatencyHistogram& other) {
@@ -73,7 +73,8 @@ void LatencyHistogram::Reset() {
 }
 
 double LatencyHistogram::MeanNanos() const {
-  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
 }
 
 int64_t LatencyHistogram::QuantileNanos(double q) const {
@@ -110,6 +111,7 @@ LatencyHistogram::Summary LatencyHistogram::Summarize() const {
   s.mean_us = MeanNanos() / 1e3;
   s.p50_us = static_cast<double>(QuantileNanos(0.5)) / 1e3;
   s.p99_us = static_cast<double>(QuantileNanos(0.99)) / 1e3;
+  s.p999_us = static_cast<double>(QuantileNanos(0.999)) / 1e3;
   s.min_us = static_cast<double>(MinNanos()) / 1e3;
   s.max_us = static_cast<double>(MaxNanos()) / 1e3;
   return s;

@@ -1,9 +1,13 @@
 // Latency statistics used by the benchmark harnesses.
 //
 // LatencyHistogram is a log-bucketed histogram over nanosecond samples with
-// exact mean (kept as a running sum) and approximate percentiles; buckets use
-// a fixed geometric layout so merging histograms from many simulated clients
-// is trivial. Summary is the printable digest every bench row reports.
+// exact mean (kept as a running integer sum) and approximate percentiles;
+// buckets use a fixed geometric layout so merging histograms from many
+// simulated clients (or the open-loop per-pool histograms) is *lossless*:
+// a merge of any partition of a sample stream is bit-identical to recording
+// the stream into one histogram — no re-binning, and the integer sum makes
+// the mean independent of accumulation order (asserted in common_test).
+// Summary is the printable digest every bench row reports.
 #ifndef PRISM_SRC_COMMON_HISTOGRAM_H_
 #define PRISM_SRC_COMMON_HISTOGRAM_H_
 
@@ -35,6 +39,7 @@ class LatencyHistogram {
     double mean_us = 0;
     double p50_us = 0;
     double p99_us = 0;
+    double p999_us = 0;
     double min_us = 0;
     double max_us = 0;
   };
@@ -51,7 +56,11 @@ class LatencyHistogram {
 
   std::vector<int64_t> buckets_;
   int64_t count_ = 0;
-  double sum_ = 0;
+  // Integer nanosecond sum: merging partial histograms yields exactly the
+  // same mean as direct recording regardless of order (a double accumulator
+  // would drift with accumulation order once counts get large). Headroom:
+  // int64 holds ~9.2e9 seconds of cumulative latency.
+  int64_t sum_ = 0;
   int64_t min_ = 0;
   int64_t max_ = 0;
 };

@@ -85,7 +85,18 @@ PrismKvClient::PrismKvClient(net::Fabric* fabric, net::HostId self,
                server->options().reclaim_batch) {
   auto scratch = server->prism().AllocateScratch(16);
   PRISM_CHECK(scratch.ok()) << scratch.status();
-  scratch_ = *scratch;
+  scratch_free_.push_back(*scratch);
+}
+
+rdma::Addr PrismKvClient::AcquireScratch() {
+  if (scratch_free_.empty()) {
+    auto scratch = server_->prism().AllocateScratch(16);
+    PRISM_CHECK(scratch.ok()) << scratch.status();
+    return *scratch;
+  }
+  rdma::Addr addr = scratch_free_.back();
+  scratch_free_.pop_back();
+  return addr;
 }
 
 uint64_t PrismKvServer::HashBucket(const Bytes& key) const {
@@ -262,6 +273,16 @@ sim::Task<Status> PrismKvClient::Put(const std::string& key, Bytes value) {
     co_return queue.status();
   }
 
+  // One scratch slot per in-flight PUT: concurrent PUTs on this client
+  // interleave their RT2 chains op-by-op, so sharing a slot would let one
+  // chain's CAS read the other's staged ⟨ptr,bound⟩.
+  const rdma::Addr scratch = AcquireScratch();
+  struct ScratchLease {
+    std::vector<rdma::Addr>* pool;
+    rdma::Addr addr;
+    ~ScratchLease() { pool->push_back(addr); }
+  } lease{&scratch_free_, scratch};
+
   for (int attempt = 0; attempt < opts.max_retries; ++attempt) {
     // RT1: probe for the slot and learn the old buffer address (§6.2: "one
     // indirect READ to identify the correct hash table slot").
@@ -276,14 +297,14 @@ sim::Task<Status> PrismKvClient::Put(const std::string& key, Bytes value) {
     // record, CAS-install ⟨ptr,bound⟩ iff the old pointer is unchanged.
     Chain chain;
     chain.push_back(
-        Op::Write(server_->rkey(), scratch_ + 8, BytesOfU64(new_bound)));
+        Op::Write(server_->rkey(), scratch + 8, BytesOfU64(new_bound)));
     chain.push_back(Op::Allocate(server_->rkey(), *queue, *record)
-                        .RedirectTo(scratch_)
+                        .RedirectTo(scratch)
                         .Conditional());
     Op install = Op::CompareSwapCas(
         server_->rkey(), server_->slot_addr(probe.bucket),
         /*compare=*/BytesOfU64Pair(probe.old_ptr, 0),
-        /*swap=*/BytesOfU64(scratch_),
+        /*swap=*/BytesOfU64(scratch),
         /*cmp_mask=*/FieldMask(16, 0, 8),   // compare the pointer field only
         /*swap_mask=*/FieldMask(16, 0, 16));  // install pointer + bound
     install.data_indirect = true;  // swap operand = 16 B at scratch

@@ -135,6 +135,9 @@ class PrismKvClient {
   uint64_t round_trips() const { return round_trips_; }
   // Transport-level protocol-complexity tally (src/obs/complexity.h).
   obs::TransportTally TransportTally() const { return prism_.tally(); }
+  // Shared per-host verb batcher (doorbell batching + completion
+  // coalescing); null keeps the flat unbatched post/poll cost.
+  void set_batcher(rdma::VerbBatcher* b) { prism_.set_batcher(b); }
   uint64_t cas_failures() const { return cas_failures_; }
   uint64_t probe_overflows() const { return probe_overflows_; }
 
@@ -156,11 +159,20 @@ class PrismKvClient {
 
   uint64_t HashBucket(const Bytes& key) const;
 
+  // Leases a 16 B on-NIC scratch slot ([new_ptr | new_bound]) for one
+  // in-flight PUT. PUT chains write their CAS swap operand through scratch,
+  // so each concurrent PUT needs its own slot: open-loop pools multiplex
+  // many logical clients onto one client object, and a shared slot lets two
+  // interleaved chains install each other's ⟨ptr,bound⟩ (aliasing two
+  // buckets to one buffer). The pool grows to the peak number of
+  // simultaneous PUTs and slots are recycled via scratch_free_.
+  rdma::Addr AcquireScratch();
+
   net::Fabric* fabric_;
   PrismKvServer* server_;
   core::PrismClient prism_;
   core::ReclaimClient reclaim_;
-  rdma::Addr scratch_;  // 16 B of on-NIC scratch: [new_ptr | new_bound]
+  std::vector<rdma::Addr> scratch_free_;
   check::HistoryRecorder* history_ = nullptr;
   int history_client_ = 0;
 

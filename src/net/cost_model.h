@@ -45,6 +45,12 @@ struct CostModel {
   sim::Duration atomic_overhead = sim::Nanos(200);  // CAS/FAA ALU + lock
   sim::Duration completion = sim::Nanos(350);    // client CQE poll/dispatch
   int nic_pipeline_units = 8;                    // parallel NIC PUs
+  // Amortized verb-layer batching costs (Storm-style): a doorbell-batched
+  // post charges one client_post for the ring plus doorbell_per_wr for each
+  // additional WR in the batch; a moderated CQ drain charges one completion
+  // plus cqe_poll for each additional CQE reaped in the same drain.
+  sim::Duration doorbell_per_wr = sim::Nanos(40);  // extra WR in one ring
+  sim::Duration cqe_poll = sim::Nanos(50);         // extra CQE in one drain
 
   // ---- software PRISM / RPC datapath (Snap/eRPC-style, §4.1) ----
   int server_cores = 16;                          // dedicated cores (§6.2)

@@ -21,6 +21,13 @@
 //  * cpu_actions            — host (or SmartNIC) CPU involvement per op:
 //    1 for every RPC call, software-RDMA verb, and software/BlueField
 //    PRISM chain; 0 for hardware-NIC verbs and projected-hardware chains.
+//  * doorbells / cq_polls   — *client*-CPU actions at the verb layer: one
+//    doorbell per MMIO ring (a doorbell-batched post charges one ring for
+//    the whole batch) and one cq_poll per CQ drain (completion coalescing
+//    charges one drain per moderation batch). Kept separate from
+//    cpu_actions so the paper's Table-1 host-CPU accounting is untouched;
+//    doorbells + cq_polls is the client-side CPU-action count that
+//    doorbell batching and completion coalescing amortize.
 #ifndef PRISM_SRC_OBS_COMPLEXITY_H_
 #define PRISM_SRC_OBS_COMPLEXITY_H_
 
@@ -38,6 +45,11 @@ struct TransportTally {
   uint64_t bytes_out = 0;
   uint64_t bytes_in = 0;
   uint64_t cpu_actions = 0;
+  uint64_t doorbells = 0;
+  uint64_t cq_polls = 0;
+
+  // Client-side CPU actions: the quantity verb-layer batching amortizes.
+  uint64_t client_cpu_actions() const { return doorbells + cq_polls; }
 
   TransportTally& operator+=(const TransportTally& o) {
     round_trips += o.round_trips;
@@ -45,6 +57,8 @@ struct TransportTally {
     bytes_out += o.bytes_out;
     bytes_in += o.bytes_in;
     cpu_actions += o.cpu_actions;
+    doorbells += o.doorbells;
+    cq_polls += o.cq_polls;
     return *this;
   }
   friend TransportTally operator+(TransportTally a, const TransportTally& b) {
@@ -58,12 +72,15 @@ struct TransportTally {
     a.bytes_out -= b.bytes_out;
     a.bytes_in -= b.bytes_in;
     a.cpu_actions -= b.cpu_actions;
+    a.doorbells -= b.doorbells;
+    a.cq_polls -= b.cq_polls;
     return a;
   }
   friend bool operator==(const TransportTally& a, const TransportTally& b) {
     return a.round_trips == b.round_trips && a.messages == b.messages &&
            a.bytes_out == b.bytes_out && a.bytes_in == b.bytes_in &&
-           a.cpu_actions == b.cpu_actions;
+           a.cpu_actions == b.cpu_actions && a.doorbells == b.doorbells &&
+           a.cq_polls == b.cq_polls;
   }
 };
 
@@ -84,9 +101,17 @@ struct OpStats {
 class OpAccountant {
  public:
   void Record(std::string_view op, const TransportTally& delta) {
+    RecordN(op, 1, delta);
+  }
+
+  // Bulk form for drivers whose ops overlap on a shared transport client
+  // (the open-loop pools): per-op tally deltas are not separable there, so
+  // the driver records the client's whole-run totals against the op count
+  // it executed. Per-op averages come out identical to N Record() calls.
+  void RecordN(std::string_view op, uint64_t n, const TransportTally& totals) {
     Entry& e = map_[std::string(op)];
-    e.count++;
-    e.totals += delta;
+    e.count += n;
+    e.totals += totals;
   }
 
   std::vector<OpStats> Collect() const {

@@ -33,6 +33,7 @@
 #include "src/prism/freelist.h"
 #include "src/prism/op.h"
 #include "src/prism/wire.h"
+#include "src/rdma/batch.h"
 #include "src/rdma/memory.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
@@ -284,13 +285,23 @@ class PrismClient {
   // (see src/obs/complexity.h for the counting rules).
   const obs::TransportTally& tally() const { return tally_; }
 
+  // Routes chain submission/completion through a shared per-host verb
+  // batcher (doorbell batching + completion coalescing); null keeps the
+  // flat cost of one doorbell ring and one CQ drain per chain.
+  void set_batcher(rdma::VerbBatcher* b) { batcher_ = b; }
+
   sim::Task<Result<ChainResult>> Execute(PrismServer* server, Chain chain) {
     auto state = std::make_shared<OpState>(fabric_->simulator(),
                                            TimedOut("prism chain"));
     state->span = fabric_->obs().StartSpan("prism.execute", "prism", self_,
                                            fabric_->simulator()->Now());
     auto chain_ptr = std::make_shared<const Chain>(std::move(chain));
-    co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().client_post);
+    if (batcher_ != nullptr) {
+      co_await batcher_->Post(&tally_);
+    } else {
+      tally_.doorbells++;
+      co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().client_post);
+    }
     const size_t req_payload = EncodedChainSize(*chain_ptr);
     tally_.messages++;
     tally_.bytes_out += req_payload;
@@ -325,7 +336,12 @@ class PrismClient {
       state->Finish(TimedOut("chain deadline"));
     });
     co_await state->done.Wait();
-    co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().completion);
+    if (batcher_ != nullptr) {
+      co_await batcher_->Complete(&tally_);
+    } else {
+      tally_.cq_polls++;
+      co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().completion);
+    }
     if (state->responded) {
       tally_.round_trips++;
       tally_.bytes_in += state->resp_bytes;
@@ -363,6 +379,7 @@ class PrismClient {
 
   net::Fabric* fabric_;
   net::HostId self_;
+  rdma::VerbBatcher* batcher_ = nullptr;
   obs::TransportTally tally_;
 };
 

@@ -1,0 +1,177 @@
+// Verb-layer doorbell batching and completion coalescing.
+//
+// Storm (PAPERS.md) argues that a fast RDMA dataplane lives or dies by
+// amortizing per-operation NIC interactions: ringing one doorbell for N
+// work requests and draining N CQEs per CQ poll. This models exactly those
+// two amortizations for the simulated clients:
+//
+//  * Doorbell batching (post path). WRs posted by a client pool accumulate
+//    in a send queue; the doorbell rings when `doorbell_batch` WRs are
+//    queued or `db_timeout` elapses after the first queued WR. The ringing
+//    costs one full `client_post` (the MMIO write + TX setup); each
+//    further WR in the batch costs only `doorbell_per_wr`. Until its
+//    doorbell rings, a WR has not left the host — the fabric Send happens
+//    after the batcher resumes the verb coroutine, so batching genuinely
+//    trades a bounded post delay for per-op CPU cost.
+//
+//  * Completion coalescing (poll path). A response landing in the CQ is
+//    only observed when the CQ is drained; the moderated event fires when
+//    `cq_moderation` CQEs are pending or `cq_timeout` after the first
+//    unreported CQE. The drain costs one full `completion` for the first
+//    CQE and `cqe_poll` for each further CQE in the drain.
+//
+// Accounting: one `doorbells` tick per ring and one `cq_polls` tick per
+// drain, charged to the tally of the WR/CQE that opened the batch (totals
+// aggregated per op type come out as doorbells-per-op ≈ 1/batch). Round
+// trips, messages and bytes are untouched — batching changes client CPU
+// actions and timing only, never the protocol shape.
+//
+// Determinism: all waiting is via Simulator::Resume with delays computed
+// from simulation state, and the flush order is the FIFO queue order, so a
+// batched run replays bit-identically. A VerbBatcher is per-host (or
+// per-pool) state shared by the clients on that host; with
+// doorbell_batch == 1 and cq_moderation == 1 the charged costs equal the
+// unbatched path (one ring, one drain, full cost per op).
+#ifndef PRISM_SRC_RDMA_BATCH_H_
+#define PRISM_SRC_RDMA_BATCH_H_
+
+#include <coroutine>
+#include <deque>
+
+#include "src/common/logging.h"
+#include "src/net/cost_model.h"
+#include "src/obs/complexity.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace prism::rdma {
+
+struct BatchOptions {
+  int doorbell_batch = 1;                     // WRs per doorbell ring
+  int cq_moderation = 1;                      // CQEs per CQ drain
+  sim::Duration db_timeout = sim::Micros(2);  // flush partial post batch
+  sim::Duration cq_timeout = sim::Micros(2);  // moderation timeout
+
+  // The overload benches' default batched configuration.
+  static BatchOptions Batched() {
+    BatchOptions o;
+    o.doorbell_batch = 8;
+    o.cq_moderation = 8;
+    return o;
+  }
+};
+
+class VerbBatcher {
+ public:
+  VerbBatcher(sim::Simulator* sim, const net::CostModel* cost,
+              BatchOptions opts)
+      : sim_(sim), cost_(cost), opts_(opts) {
+    PRISM_CHECK_GT(opts.doorbell_batch, 0);
+    PRISM_CHECK_GT(opts.cq_moderation, 0);
+    PRISM_CHECK_GT(opts.db_timeout, 0);
+    PRISM_CHECK_GT(opts.cq_timeout, 0);
+  }
+
+  // Awaited by a verb in place of the flat `client_post` sleep, before the
+  // fabric Send. Resumes once this WR's doorbell has rung and the NIC has
+  // taken the WR; the charged delay is the amortized post cost.
+  auto Post(obs::TransportTally* tally) {
+    return LaneAwaiter{&post_lane_, this, tally};
+  }
+
+  // Awaited by a verb in place of the flat `completion` sleep, once the
+  // response has arrived (the CQE is in the CQ). Resumes when the moderated
+  // CQ drain reaches this CQE.
+  auto Complete(obs::TransportTally* tally) {
+    return LaneAwaiter{&cq_lane_, this, tally};
+  }
+
+  const BatchOptions& options() const { return opts_; }
+  uint64_t doorbells_rung() const { return post_lane_.flushes; }
+  uint64_t wrs_posted() const { return post_lane_.entries; }
+  uint64_t cq_drains() const { return cq_lane_.flushes; }
+  uint64_t cqes_reaped() const { return cq_lane_.entries; }
+
+ private:
+  struct Waiter {
+    std::coroutine_handle<> handle;
+    obs::TransportTally* tally;
+  };
+
+  struct Lane {
+    std::deque<Waiter> q;
+    uint64_t generation = 0;  // invalidates pending flush timers
+    uint64_t flushes = 0;
+    uint64_t entries = 0;
+  };
+
+  struct LaneAwaiter {
+    Lane* lane;
+    VerbBatcher* batcher;
+    obs::TransportTally* tally;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      batcher->Enqueue(lane, Waiter{h, tally});
+    }
+    void await_resume() const noexcept {}
+  };
+
+  void Enqueue(Lane* lane, Waiter w) {
+    lane->entries++;
+    lane->q.push_back(w);
+    const bool post_side = lane == &post_lane_;
+    const int batch = post_side ? opts_.doorbell_batch : opts_.cq_moderation;
+    if (static_cast<int>(lane->q.size()) >= batch) {
+      Flush(lane);
+    } else if (lane->q.size() == 1) {
+      // First entry opens the batch window: arm the flush timer. A flush
+      // before it fires bumps the generation, turning the timer into a
+      // no-op; the next batch arms its own.
+      const uint64_t gen = lane->generation;
+      const sim::Duration timeout =
+          post_side ? opts_.db_timeout : opts_.cq_timeout;
+      sim_->Schedule(timeout, [this, lane, gen] {
+        if (lane->generation == gen && !lane->q.empty()) Flush(lane);
+      });
+    }
+  }
+
+  // Rings the doorbell / fires the moderated CQ event: the first queued
+  // entry pays the full per-interaction cost and the accounting tick; the
+  // rest pay only the amortized per-entry cost, processed in FIFO order.
+  void Flush(Lane* lane) {
+    const bool post_side = lane == &post_lane_;
+    const sim::Duration base =
+        post_side ? cost_->client_post : cost_->completion;
+    const sim::Duration per =
+        post_side ? cost_->doorbell_per_wr : cost_->cqe_poll;
+    lane->flushes++;
+    lane->generation++;
+    sim::Duration delay = base;
+    bool first = true;
+    while (!lane->q.empty()) {
+      Waiter w = lane->q.front();
+      lane->q.pop_front();
+      if (w.tally != nullptr && first) {
+        if (post_side) {
+          w.tally->doorbells++;
+        } else {
+          w.tally->cq_polls++;
+        }
+      }
+      first = false;
+      sim_->Resume(w.handle, delay);
+      delay += per;
+    }
+  }
+
+  sim::Simulator* sim_;
+  const net::CostModel* cost_;
+  BatchOptions opts_;
+  Lane post_lane_;
+  Lane cq_lane_;
+};
+
+}  // namespace prism::rdma
+
+#endif  // PRISM_SRC_RDMA_BATCH_H_

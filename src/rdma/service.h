@@ -26,6 +26,7 @@
 
 #include "src/common/status.h"
 #include "src/net/fabric.h"
+#include "src/rdma/batch.h"
 #include "src/rdma/memory.h"
 #include "src/rdma/verbs.h"
 #include "src/sim/sync.h"
@@ -99,6 +100,11 @@ class RdmaClient {
   // (see src/obs/complexity.h for the counting rules).
   const obs::TransportTally& tally() const { return tally_; }
 
+  // Routes this client's post/poll path through a shared per-host batcher
+  // (doorbell batching + completion coalescing). Null (default) keeps the
+  // flat unbatched cost: one doorbell ring and one CQ drain per verb.
+  void set_batcher(VerbBatcher* b) { batcher_ = b; }
+
   // Deadline for an op before it completes kTimedOut (models RC transport
   // retry exhaustion, compressed to keep failure tests fast).
   static constexpr sim::Duration kOpTimeout = sim::Millis(5);
@@ -109,7 +115,7 @@ class RdmaClient {
                                                   TimedOut("rdma read"));
     state->span = fabric_->obs().StartSpan("rdma.read", "rdma", self_,
                                            fabric_->simulator()->Now());
-    co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().client_post);
+    co_await PostGate();
     PreSend(svc, state, 16);
     fabric_->Send(
         self_, svc->host(), /*payload=*/16,
@@ -132,7 +138,7 @@ class RdmaClient {
                                                   TimedOut("rdma write"));
     state->span = fabric_->obs().StartSpan("rdma.write", "rdma", self_,
                                            fabric_->simulator()->Now());
-    co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().client_post);
+    co_await PostGate();
     const size_t req_payload = 16 + data.size();
     auto payload = std::make_shared<Bytes>(std::move(data));
     PreSend(svc, state, req_payload);
@@ -164,7 +170,7 @@ class RdmaClient {
                                                      TimedOut("rdma cas"));
     state->span = fabric_->obs().StartSpan("rdma.cas", "rdma", self_,
                                            fabric_->simulator()->Now());
-    co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().client_post);
+    co_await PostGate();
     PreSend(svc, state, 32);
     fabric_->Send(
         self_, svc->host(), /*payload=*/32,
@@ -191,7 +197,7 @@ class RdmaClient {
                                                      TimedOut("rdma faa"));
     state->span = fabric_->obs().StartSpan("rdma.faa", "rdma", self_,
                                            fabric_->simulator()->Now());
-    co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().client_post);
+    co_await PostGate();
     PreSend(svc, state, 24);
     fabric_->Send(
         self_, svc->host(), /*payload=*/24,
@@ -221,7 +227,7 @@ class RdmaClient {
         fabric_->simulator(), TimedOut("rdma masked cas"));
     state->span = fabric_->obs().StartSpan("rdma.masked_cas", "rdma", self_,
                                            fabric_->simulator()->Now());
-    co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().client_post);
+    co_await PostGate();
     const size_t req_payload = 16 + 3 * data.size();
     const size_t width = data.size();
     struct Args {
@@ -269,6 +275,30 @@ class RdmaClient {
     }
   };
 
+  // Post-side gate every verb awaits before handing its WR to the fabric.
+  // Unbatched: a flat client_post and one doorbell ring per WR. Batched: the
+  // shared VerbBatcher delays the WR until its doorbell rings and charges
+  // the amortized cost (one `doorbells` tick per ring, on the batch opener).
+  sim::Task<void> PostGate() {
+    if (batcher_ != nullptr) {
+      co_await batcher_->Post(&tally_);
+    } else {
+      tally_.doorbells++;
+      co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().client_post);
+    }
+  }
+
+  // Completion-side gate: flat CQ drain per op, or the batcher's moderated
+  // drain (one `cq_polls` tick per drain).
+  sim::Task<void> CompletionGate() {
+    if (batcher_ != nullptr) {
+      co_await batcher_->Complete(&tally_);
+    } else {
+      tally_.cq_polls++;
+      co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().completion);
+    }
+  }
+
   // Request-side accounting shared by every verb, applied just before the
   // fabric Send: one logical message out, a CPU action when the far side is
   // software RDMA, and the current-span register primed for the flight span.
@@ -301,7 +331,7 @@ class RdmaClient {
       state->Finish(TimedOut("op deadline"));
     });
     co_await state->done.Wait();
-    co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().completion);
+    co_await CompletionGate();
     if (state->responded) {
       tally_.round_trips++;
       tally_.bytes_in += state->resp_bytes;
@@ -312,6 +342,7 @@ class RdmaClient {
 
   net::Fabric* fabric_;
   net::HostId self_;
+  VerbBatcher* batcher_ = nullptr;
   obs::TransportTally tally_;
 };
 

@@ -19,6 +19,7 @@
 
 #include "src/common/status.h"
 #include "src/net/fabric.h"
+#include "src/rdma/batch.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
 
@@ -141,12 +142,21 @@ class RpcClient {
   // (see src/obs/complexity.h for the counting rules).
   const obs::TransportTally& tally() const { return tally_; }
 
+  // eRPC's send path is itself posted WRs + CQ polls, so the same verb-layer
+  // batcher applies; null keeps one doorbell ring and one drain per call.
+  void set_batcher(rdma::VerbBatcher* b) { batcher_ = b; }
+
   sim::Task<Result<MessagePtr>> Call(RpcServer* server, MethodId method,
                                      MessagePtr request_ptr) {
     auto state = std::make_shared<CallState>(fabric_->simulator());
     state->span = fabric_->obs().StartSpan("rpc.call", "rpc", self_,
                                            fabric_->simulator()->Now());
-    co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().client_post);
+    if (batcher_ != nullptr) {
+      co_await batcher_->Post(&tally_);
+    } else {
+      tally_.doorbells++;
+      co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().client_post);
+    }
     const size_t req_wire = request_ptr->wire_bytes();
     tally_.messages++;
     tally_.bytes_out += req_wire;
@@ -176,7 +186,12 @@ class RpcClient {
       state->Finish(TimedOut("rpc deadline"));
     });
     co_await state->done.Wait();
-    co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().completion);
+    if (batcher_ != nullptr) {
+      co_await batcher_->Complete(&tally_);
+    } else {
+      tally_.cq_polls++;
+      co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().completion);
+    }
     if (state->responded) {
       tally_.round_trips++;
       tally_.bytes_in += state->resp_bytes;
@@ -205,6 +220,7 @@ class RpcClient {
 
   net::Fabric* fabric_;
   net::HostId self_;
+  rdma::VerbBatcher* batcher_ = nullptr;
   obs::TransportTally tally_;
 };
 

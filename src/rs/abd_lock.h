@@ -83,6 +83,9 @@ class AbdLockClient {
   uint64_t round_trips() const { return round_trips_; }
   // Transport-level protocol-complexity tally (src/obs/complexity.h).
   obs::TransportTally TransportTally() const { return rdma_.tally(); }
+  // Shared per-host verb batcher (doorbell batching + completion
+  // coalescing); null keeps the flat unbatched post/poll cost.
+  void set_batcher(rdma::VerbBatcher* b) { rdma_.set_batcher(b); }
 
   // Failure injection for tests: acquire locks and "crash" (never release).
   sim::Task<Status> AcquireAndAbandon(uint64_t block);

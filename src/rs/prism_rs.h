@@ -143,6 +143,9 @@ class PrismRsClient {
   uint64_t round_trips() const { return round_trips_; }
   // Transport-level protocol-complexity tally (src/obs/complexity.h).
   obs::TransportTally TransportTally() const { return prism_.tally(); }
+  // Shared per-host verb batcher (doorbell batching + completion
+  // coalescing); null keeps the flat unbatched post/poll cost.
+  void set_batcher(rdma::VerbBatcher* b) { prism_.set_batcher(b); }
   uint64_t writebacks_skipped() const { return writebacks_skipped_; }
 
  private:

@@ -134,6 +134,12 @@ class FarmClient {
   obs::TransportTally TransportTally() const {
     return rdma_.tally() + rpc_.tally();
   }
+  // Shared per-host verb batcher (doorbell batching + completion
+  // coalescing) applied to both transports; null keeps the flat cost.
+  void set_batcher(rdma::VerbBatcher* b) {
+    rdma_.set_batcher(b);
+    rpc_.set_batcher(b);
+  }
 
  private:
   net::Fabric* fabric_;

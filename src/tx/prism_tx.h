@@ -168,6 +168,9 @@ class PrismTxClient {
   uint64_t aborts() const { return aborts_; }
   // Transport-level protocol-complexity tally (src/obs/complexity.h).
   obs::TransportTally TransportTally() const { return prism_.tally(); }
+  // Shared per-host verb batcher (doorbell batching + completion
+  // coalescing); null keeps the flat unbatched post/poll cost.
+  void set_batcher(rdma::VerbBatcher* b) { prism_.set_batcher(b); }
 
  private:
   struct WritePrep {

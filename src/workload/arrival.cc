@@ -1,0 +1,115 @@
+#include "src/workload/arrival.h"
+
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace prism::workload {
+
+const char* ArrivalSpec::KindName() const {
+  switch (kind) {
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kMmpp: return "mmpp";
+    case ArrivalKind::kDiurnal: return "diurnal";
+  }
+  return "?";
+}
+
+bool ParseArrivalKind(const std::string& name, ArrivalKind* out) {
+  if (name == "poisson") {
+    *out = ArrivalKind::kPoisson;
+  } else if (name == "mmpp") {
+    *out = ArrivalKind::kMmpp;
+  } else if (name == "diurnal") {
+    *out = ArrivalKind::kDiurnal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalSpec& spec, Rng rng)
+    : spec_(spec), rng_(rng), rate_per_ns_(spec.ops_per_sec / 1e9) {
+  PRISM_CHECK_GT(spec.ops_per_sec, 0);
+  switch (spec_.kind) {
+    case ArrivalKind::kPoisson:
+      break;
+    case ArrivalKind::kMmpp: {
+      PRISM_CHECK_GT(spec.burst_factor, 1.0);
+      PRISM_CHECK_GT(spec.burst_fraction, 0.0);
+      PRISM_CHECK_LT(spec.burst_fraction, 1.0);
+      PRISM_CHECK_GT(spec.burst_dwell, 0);
+      const double f = spec.burst_fraction;
+      // Mean rate = base·(1-f) + base·factor·f  ⇒  solve for base.
+      base_rate_ = rate_per_ns_ / (1.0 - f + spec.burst_factor * f);
+      burst_rate_ = base_rate_ * spec.burst_factor;
+      burst_dwell_ns_ = static_cast<double>(spec.burst_dwell);
+      // Time-fraction f in burst ⇒ base dwell = burst dwell · (1-f)/f.
+      base_dwell_ns_ = burst_dwell_ns_ * (1.0 - f) / f;
+      break;
+    }
+    case ArrivalKind::kDiurnal:
+      PRISM_CHECK_GE(spec.diurnal_amplitude, 0.0);
+      PRISM_CHECK_LT(spec.diurnal_amplitude, 1.0);
+      PRISM_CHECK_GT(spec.diurnal_period, 0);
+      lambda_max_ = rate_per_ns_ * (1.0 + spec.diurnal_amplitude);
+      break;
+  }
+}
+
+double ArrivalProcess::ExpGapNs(double rate_per_ns) {
+  // Inverse CDF of Exp(rate): -ln(1-U)/rate. NextDouble() ∈ [0,1), so the
+  // argument of log1p is in (-1, 0] and the gap is finite and ≥ 0.
+  return -std::log1p(-rng_.NextDouble()) / rate_per_ns;
+}
+
+sim::Duration ArrivalProcess::NextGap(sim::TimePoint now) {
+  switch (spec_.kind) {
+    case ArrivalKind::kPoisson:
+      return static_cast<sim::Duration>(ExpGapNs(rate_per_ns_));
+
+    case ArrivalKind::kMmpp: {
+      double t = static_cast<double>(now);
+      if (!mmpp_init_) {
+        mmpp_init_ = true;
+        state_until_ns_ = t + ExpGapNs(1.0 / base_dwell_ns_);
+      }
+      // Competing exponentials: sample a gap at the current state's rate;
+      // if the state switches first, advance to the switch instant and
+      // resample (memorylessness makes the discard exact).
+      while (true) {
+        const double rate = in_burst_ ? burst_rate_ : base_rate_;
+        const double gap = ExpGapNs(rate);
+        if (t + gap <= state_until_ns_) {
+          const double total = t + gap - static_cast<double>(now);
+          return static_cast<sim::Duration>(total);
+        }
+        t = state_until_ns_;
+        in_burst_ = !in_burst_;
+        const double dwell = in_burst_ ? burst_dwell_ns_ : base_dwell_ns_;
+        state_until_ns_ += ExpGapNs(1.0 / dwell);
+      }
+    }
+
+    case ArrivalKind::kDiurnal: {
+      // Lewis–Shedler thinning against the sinusoid's peak rate. Mean
+      // acceptance probability is 1/(1+A) ≥ 1/2, so this terminates fast.
+      constexpr double kTwoPi = 6.283185307179586476925286766559;
+      const double period = static_cast<double>(spec_.diurnal_period);
+      double t = static_cast<double>(now);
+      while (true) {
+        t += ExpGapNs(lambda_max_);
+        const double lambda =
+            rate_per_ns_ *
+            (1.0 + spec_.diurnal_amplitude * std::sin(kTwoPi * t / period));
+        if (rng_.NextDouble() * lambda_max_ < lambda) {
+          return static_cast<sim::Duration>(t - static_cast<double>(now));
+        }
+      }
+    }
+  }
+  PRISM_CHECK(false) << "unreachable arrival kind";
+  return 0;
+}
+
+}  // namespace prism::workload

@@ -1,0 +1,118 @@
+// Open-loop arrival processes (ROADMAP item 2).
+//
+// An ArrivalProcess produces the inter-arrival gaps of an offered-load
+// stream whose rate is independent of completion times — the defining
+// property of open-loop load generation, and the regime where queueing
+// (not protocol latency) dominates the tail. Three paper-and-folklore
+// standard profiles:
+//
+//  * Poisson  — homogeneous rate λ; exponential i.i.d. gaps. The memoryless
+//    baseline every queueing model assumes.
+//  * MMPP     — 2-state Markov-modulated Poisson process: a base state and
+//    a burst state whose rates differ by `burst_factor`, with exponentially
+//    distributed dwell times. Mean rate equals `ops_per_sec`; the bursts
+//    produce the overdispersion (variance-to-mean of windowed counts > 1)
+//    that stresses tail latency far more than Poisson at equal mean load.
+//  * Diurnal  — inhomogeneous Poisson with a sinusoidal rate profile
+//    λ(t) = λ₀(1 + A·sin(2πt/period)), sampled by Lewis–Shedler thinning.
+//    A compressed day/night cycle: mean rate λ₀ over a full period.
+//
+// Everything is driven by an explicit common/rng so a seeded run replays
+// bit-identically (asserted across --jobs in tests/workload_test.cc).
+// Statistical sanity (chi-squared exponentiality, burst-window dispersion)
+// is also covered there.
+#ifndef PRISM_SRC_WORKLOAD_ARRIVAL_H_
+#define PRISM_SRC_WORKLOAD_ARRIVAL_H_
+
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/sim/time.h"
+
+namespace prism::workload {
+
+enum class ArrivalKind {
+  kPoisson,
+  kMmpp,
+  kDiurnal,
+};
+
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double ops_per_sec = 1e6;  // mean offered rate over the run
+
+  // MMPP: burst state runs at burst_factor × the base-state rate and the
+  // process spends burst_fraction of its time there (dwell times are
+  // exponential with the given burst-state mean). Base-state rate is derived
+  // so the overall mean stays ops_per_sec.
+  double burst_factor = 8.0;
+  double burst_fraction = 0.1;
+  sim::Duration burst_dwell = sim::Micros(200);
+
+  // Diurnal: amplitude A in [0,1) and the (compressed) day length.
+  double diurnal_amplitude = 0.6;
+  sim::Duration diurnal_period = sim::Millis(2);
+
+  static ArrivalSpec Poisson(double ops_per_sec) {
+    ArrivalSpec s;
+    s.kind = ArrivalKind::kPoisson;
+    s.ops_per_sec = ops_per_sec;
+    return s;
+  }
+  static ArrivalSpec Mmpp(double ops_per_sec) {
+    ArrivalSpec s;
+    s.kind = ArrivalKind::kMmpp;
+    s.ops_per_sec = ops_per_sec;
+    return s;
+  }
+  static ArrivalSpec Diurnal(double ops_per_sec) {
+    ArrivalSpec s;
+    s.kind = ArrivalKind::kDiurnal;
+    s.ops_per_sec = ops_per_sec;
+    return s;
+  }
+
+  const char* KindName() const;
+};
+
+// Parses "poisson" / "mmpp" / "diurnal"; returns true on success.
+bool ParseArrivalKind(const std::string& name, ArrivalKind* out);
+
+class ArrivalProcess {
+ public:
+  ArrivalProcess(const ArrivalSpec& spec, Rng rng);
+
+  // The gap from the arrival at `now` to the next arrival. `now` must be
+  // non-decreasing across calls (it is the simulation clock at the previous
+  // arrival). Always ≥ 0; sub-nanosecond gaps round to 0 and coincide.
+  sim::Duration NextGap(sim::TimePoint now);
+
+  const ArrivalSpec& spec() const { return spec_; }
+  // Derived MMPP parameters, exposed for the statistical tests.
+  double base_rate() const { return base_rate_; }
+  double burst_rate() const { return burst_rate_; }
+
+ private:
+  // Exponential with mean 1/rate_per_ns, via inverse CDF.
+  double ExpGapNs(double rate_per_ns);
+
+  ArrivalSpec spec_;
+  Rng rng_;
+  double rate_per_ns_;  // mean rate in arrivals per nanosecond
+
+  // MMPP state machine.
+  bool in_burst_ = false;
+  bool mmpp_init_ = false;
+  double state_until_ns_ = 0;  // switch instant (fractional ns kept exact)
+  double base_rate_ = 0;       // per ns
+  double burst_rate_ = 0;      // per ns
+  double base_dwell_ns_ = 0;   // mean dwell in base state
+  double burst_dwell_ns_ = 0;  // mean dwell in burst state
+
+  // Diurnal thinning.
+  double lambda_max_ = 0;  // per ns, peak of the sinusoid
+};
+
+}  // namespace prism::workload
+
+#endif  // PRISM_SRC_WORKLOAD_ARRIVAL_H_

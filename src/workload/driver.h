@@ -66,9 +66,14 @@ class Recorder {
 struct LoadPoint {
   int clients = 0;
   double tput_mops = 0;
+  // Open-loop drivers only: arrival rate offered during the measurement
+  // window (0 for the closed-loop figure drivers, where load is implied by
+  // the client count).
+  double offered_mops = 0;
   double mean_us = 0;
   double p50_us = 0;
   double p99_us = 0;
+  double p999_us = 0;
   double abort_rate = 0;  // aborts / (completions + aborts); OCC benches
   uint64_t sim_events = 0;  // engine events executed by this point's sim
   // Per-op-type protocol-complexity aggregates (Table 1 accounting) for the
@@ -84,6 +89,7 @@ inline LoadPoint MakeLoadPoint(int clients, const Recorder& recorder) {
   p.mean_us = s.mean_us;
   p.p50_us = s.p50_us;
   p.p99_us = s.p99_us;
+  p.p999_us = s.p999_us;
   const double denom =
       static_cast<double>(recorder.completed() + recorder.aborts());
   p.abort_rate = denom > 0 ? static_cast<double>(recorder.aborts()) / denom
@@ -97,15 +103,16 @@ inline LoadPoint MakeLoadPoint(int clients, const Recorder& recorder) {
 inline void PrintHeader(const std::string& title,
                         const std::string& extra = "") {
   std::printf("\n== %s ==\n", title.c_str());
-  std::printf("%-28s %8s %12s %10s %10s %10s%s\n", "system", "clients",
-              "tput(Mops)", "mean(us)", "p50(us)", "p99(us)",
+  std::printf("%-28s %8s %12s %10s %10s %10s %10s%s\n", "system", "clients",
+              "tput(Mops)", "mean(us)", "p50(us)", "p99(us)", "p999(us)",
               extra.empty() ? "" : ("  " + extra).c_str());
 }
 
 inline void PrintRow(const std::string& system, const LoadPoint& p,
                      const std::string& extra = "") {
-  std::printf("%-28s %8d %12.3f %10.2f %10.2f %10.2f%s\n", system.c_str(),
-              p.clients, p.tput_mops, p.mean_us, p.p50_us, p.p99_us,
+  std::printf("%-28s %8d %12.3f %10.2f %10.2f %10.2f %10.2f%s\n",
+              system.c_str(), p.clients, p.tput_mops, p.mean_us, p.p50_us,
+              p.p99_us, p.p999_us,
               extra.empty() ? "" : ("  " + extra).c_str());
 }
 

@@ -1,0 +1,253 @@
+// Open-loop client pools: millions of logical clients, flat per-client
+// memory.
+//
+// The closed-loop harness (driver.h) gives every client a live coroutine
+// frame — hundreds of bytes of frame plus transport state per client, which
+// caps a simulation at a few hundred clients. Open-loop load at the
+// ROADMAP's "millions of users" scale inverts the representation:
+//
+//  * Each logical client is a ClientSlot — a 16-byte POD state machine
+//    (key-space rng cursor, issue/outstanding counters, pending-op tag,
+//    histogram handle). One flat std::vector holds the whole population;
+//    per-client memory is sizeof(ClientSlot) regardless of load
+//    (CI-guarded at ≤64 B/client in fig_overload --guard).
+//
+//  * A single arrival-driver coroutine pulls inter-arrival gaps from an
+//    ArrivalProcess and stamps each arrival onto a uniformly chosen slot.
+//    Arrivals are independent of completions — the open-loop property.
+//
+//  * A bounded pool of worker coroutines drains the arrival backlog and
+//    executes each op through the caller's OpFn (which owns the transport
+//    clients, shared per pool — in real deployments a host's clients share
+//    QPs exactly like this, which is what makes verb-layer doorbell
+//    batching apply). Live coroutine frames are O(workers), not O(clients).
+//
+// Latency is measured from *arrival* to completion, so client-side queueing
+// — the quantity that explodes past saturation — is part of every sample;
+// that is what makes the fig_overload latency-vs-offered-load curves
+// meaningful. Per-class recorders use common/histogram's lossless merge so
+// per-pool results combine exactly (satellite: histogram merge fix).
+//
+// Determinism: one arrival driver + FIFO channel + FIFO workers inside a
+// single-threaded simulation; every random draw comes off an explicit
+// seeded rng. Bit-identical across runs and --jobs (workload_test).
+#ifndef PRISM_SRC_WORKLOAD_OPEN_LOOP_H_
+#define PRISM_SRC_WORKLOAD_OPEN_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/workload/arrival.h"
+#include "src/workload/driver.h"
+
+namespace prism::workload {
+
+// Compact per-client state machine. The whole client fits in 16 bytes; a
+// million-client pool is 16 MB of flat array, no per-client heap objects.
+struct ClientSlot {
+  uint64_t rng;          // splitmix64 key-space cursor (private op stream)
+  uint32_t issued;       // arrivals stamped on this client
+  uint16_t outstanding;  // arrivals not yet completed (backlogged or live)
+  uint8_t tag;           // op-class index of this client's ops
+  uint8_t hist;          // recorder handle its latencies merge into
+};
+static_assert(sizeof(ClientSlot) == 16,
+              "ClientSlot must stay compact: the ≤64 B/client guard in "
+              "fig_overload budgets 16 B of slot + allocator/backlog slack");
+
+struct PoolOptions {
+  // Worker coroutines per pool: bounds live frames and the op concurrency
+  // one host can sustain (an op beyond this queues in the backlog, which is
+  // the client-side queueing the overload figures measure).
+  int workers = 256;
+};
+
+class OpenLoopPool {
+ public:
+  // Executes one operation; `draw` is the client's 64-bit key-space draw
+  // (deterministic per client). The callee owns transports and servers.
+  using OpFn = std::function<sim::Task<void>(uint64_t draw)>;
+
+  OpenLoopPool(sim::Simulator* sim, const ArrivalSpec& spec,
+               uint64_t n_clients, Rng rng, PoolOptions opts = {})
+      : sim_(sim),
+        opts_(opts),
+        arrivals_(spec, rng.Fork()),
+        pick_rng_(rng.Fork()),
+        init_rng_(rng.Fork()),
+        n_clients_(n_clients),
+        queue_(sim) {
+    PRISM_CHECK_GT(n_clients, 0u);
+    PRISM_CHECK_GT(opts.workers, 0);
+  }
+
+  // Registers an op class (e.g. "kv.get") receiving a weight-proportional
+  // share of the client population. Call before Start.
+  void AddClass(std::string name, double weight, OpFn fn) {
+    PRISM_CHECK_GT(weight, 0.0);
+    PRISM_CHECK(!started_);
+    classes_.push_back(OpClass{std::move(name), weight, std::move(fn)});
+    PRISM_CHECK_LE(classes_.size(), 256u) << "tag/hist are 8-bit handles";
+  }
+
+  // Materializes the population and spawns the arrival driver + workers.
+  // Arrivals flow until `end`; recorders window [measure_start, end]. The
+  // caller then advances the simulation (RunUntil(end + drain), Run()) and
+  // calls CheckDrained().
+  void Start(sim::TimePoint measure_start, sim::TimePoint end) {
+    PRISM_CHECK(!started_);
+    PRISM_CHECK(!classes_.empty());
+    started_ = true;
+    measure_start_ = measure_start;
+    end_ = end;
+    clients_.resize(n_clients_);
+    double total_w = 0;
+    for (const OpClass& c : classes_) total_w += c.weight;
+    for (uint64_t i = 0; i < n_clients_; ++i) {
+      ClientSlot& s = clients_[i];
+      s.rng = init_rng_.NextU64();
+      s.issued = 0;
+      s.outstanding = 0;
+      double pick = init_rng_.NextDouble() * total_w;
+      uint8_t tag = 0;
+      for (size_t c = 0; c < classes_.size(); ++c) {
+        pick -= classes_[c].weight;
+        if (pick < 0) {
+          tag = static_cast<uint8_t>(c);
+          break;
+        }
+      }
+      s.tag = tag;
+      s.hist = tag;  // one recorder per class
+    }
+    for (size_t c = 0; c < classes_.size(); ++c) {
+      recorders_.push_back(
+          std::make_unique<Recorder>(sim_, measure_start, end));
+    }
+    sim::Spawn(Driver(), &tracker_);
+    for (int w = 0; w < opts_.workers; ++w) {
+      sim::Spawn(Worker(), &tracker_);
+    }
+  }
+
+  void CheckDrained() const {
+    PRISM_CHECK_EQ(tracker_.live(), 0)
+        << "open-loop pool not drained; raise the post-end drain window";
+    PRISM_CHECK(queue_.empty());
+  }
+
+  // Per-class measurement-window results (index = AddClass order).
+  const Recorder& recorder(size_t cls) const { return *recorders_[cls]; }
+  const std::string& class_name(size_t cls) const {
+    return classes_[cls].name;
+  }
+  size_t n_classes() const { return classes_.size(); }
+  // Ops completed per class over the whole run (measurement window and
+  // out), for complexity accounting against whole-run transport tallies.
+  uint64_t class_completions(size_t cls) const {
+    return class_completions_[cls];
+  }
+
+  // Arrivals stamped inside the measurement window: the *measured* offered
+  // load (completions may be fewer — that gap is the overload signal).
+  uint64_t measured_arrivals() const { return measured_arrivals_; }
+  uint64_t arrivals() const { return arrivals_count_; }
+  uint64_t completions() const { return completions_; }
+  size_t backlog() const { return queue_.size(); }
+  size_t peak_backlog() const { return peak_backlog_; }
+  uint64_t n_clients() const { return n_clients_; }
+  // Flat per-client state: the quantity the ≤64 B/client guard bounds.
+  size_t state_bytes() const { return clients_.size() * sizeof(ClientSlot); }
+  const ClientSlot& client(uint64_t i) const { return clients_[i]; }
+
+ private:
+  struct OpClass {
+    std::string name;
+    double weight;
+    OpFn fn;
+  };
+
+  // An arrival waiting in the backlog: 16 bytes.
+  struct Pending {
+    uint32_t client;
+    sim::TimePoint arrival;
+  };
+  static constexpr uint32_t kPoison = 0xffffffffu;
+
+  static uint64_t SplitMix(uint64_t* s) {
+    uint64_t z = (*s += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  sim::Task<void> Driver() {
+    while (true) {
+      const sim::Duration gap = arrivals_.NextGap(sim_->Now());
+      co_await sim::SleepFor(sim_, gap);
+      if (sim_->Now() >= end_) break;
+      const uint32_t c = static_cast<uint32_t>(pick_rng_.NextBelow(n_clients_));
+      ClientSlot& slot = clients_[c];
+      slot.issued++;
+      slot.outstanding++;
+      arrivals_count_++;
+      if (sim_->Now() >= measure_start_) measured_arrivals_++;
+      queue_.Push(Pending{c, sim_->Now()});
+      if (queue_.size() > peak_backlog_) peak_backlog_ = queue_.size();
+    }
+    for (int w = 0; w < opts_.workers; ++w) {
+      queue_.Push(Pending{kPoison, 0});
+    }
+  }
+
+  sim::Task<void> Worker() {
+    while (true) {
+      Pending p = co_await queue_.Pop();
+      if (p.client == kPoison) break;
+      ClientSlot& slot = clients_[p.client];
+      OpClass& cls = classes_[slot.tag];
+      const uint64_t draw = SplitMix(&slot.rng);
+      co_await cls.fn(draw);
+      // Latency from *arrival*: client-side backlog wait included.
+      recorders_[slot.hist]->Record(p.arrival);
+      class_completions_[slot.hist]++;
+      completions_++;
+      slot.outstanding--;
+    }
+  }
+
+  sim::Simulator* sim_;
+  PoolOptions opts_;
+  ArrivalProcess arrivals_;
+  Rng pick_rng_;
+  Rng init_rng_;
+  uint64_t n_clients_;
+  bool started_ = false;
+  sim::TimePoint measure_start_ = 0;
+  sim::TimePoint end_ = 0;
+
+  std::vector<ClientSlot> clients_;
+  std::vector<OpClass> classes_;
+  std::vector<std::unique_ptr<Recorder>> recorders_;
+  uint64_t class_completions_[256] = {};
+  sim::Channel<Pending> queue_;
+  sim::TaskTracker tracker_;
+
+  uint64_t arrivals_count_ = 0;
+  uint64_t measured_arrivals_ = 0;
+  uint64_t completions_ = 0;
+  size_t peak_backlog_ = 0;
+};
+
+}  // namespace prism::workload
+
+#endif  // PRISM_SRC_WORKLOAD_OPEN_LOOP_H_

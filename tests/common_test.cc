@@ -220,6 +220,49 @@ TEST(HistogramTest, MergeCombines) {
   EXPECT_EQ(a.MaxNanos(), 3000);
 }
 
+TEST(HistogramTest, MergeMatchesDirectRecording) {
+  // The fixed log-bucket layout makes merge lossless: recording a stream
+  // split across K partial histograms and merging must be bit-identical to
+  // recording it all into one — count, sum-derived mean, extrema, and every
+  // quantile (the open-loop pools rely on this to combine per-pool
+  // recorders without distorting p999).
+  Rng rng(2026);
+  LatencyHistogram direct;
+  LatencyHistogram parts[4];
+  for (int i = 0; i < 40000; ++i) {
+    // Heavy-tailed samples spanning ~4 decades, like an overloaded run.
+    int64_t ns = 500 + static_cast<int64_t>(rng.NextBelow(20000));
+    if (rng.NextBelow(100) < 3) ns *= 400;
+    direct.Record(ns);
+    parts[i % 4].Record(ns);
+  }
+  LatencyHistogram merged;
+  for (LatencyHistogram& p : parts) merged.Merge(p);
+
+  EXPECT_EQ(merged.count(), direct.count());
+  EXPECT_EQ(merged.MaxNanos(), direct.MaxNanos());
+  EXPECT_DOUBLE_EQ(merged.MeanNanos(), direct.MeanNanos());
+  LatencyHistogram::Summary m = merged.Summarize();
+  LatencyHistogram::Summary d = direct.Summarize();
+  EXPECT_EQ(m.count, d.count);
+  EXPECT_DOUBLE_EQ(m.mean_us, d.mean_us);
+  EXPECT_DOUBLE_EQ(m.p50_us, d.p50_us);
+  EXPECT_DOUBLE_EQ(m.p99_us, d.p99_us);
+  EXPECT_DOUBLE_EQ(m.p999_us, d.p999_us);
+  EXPECT_DOUBLE_EQ(m.min_us, d.min_us);
+  EXPECT_DOUBLE_EQ(m.max_us, d.max_us);
+}
+
+TEST(HistogramTest, SummaryReportsP999AboveP99OnHeavyTail) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10000; ++i) h.Record(1000);
+  for (int i = 0; i < 50; ++i) h.Record(1000 * 1000);
+  LatencyHistogram::Summary s = h.Summarize();
+  // 0.5% of samples at 1 ms: p99 stays at the body, p999 lands in the tail.
+  EXPECT_LT(s.p99_us, 10.0);
+  EXPECT_GT(s.p999_us, 900.0);
+}
+
 TEST(HistogramTest, ResetClears) {
   LatencyHistogram h;
   h.Record(5000);

@@ -194,6 +194,42 @@ TEST_F(PrismKvTest, ConcurrentWritersLastWriterWins) {
   EXPECT_GT(client_->cas_failures(), 0u);  // contention actually happened
 }
 
+TEST_F(PrismKvTest, ConcurrentPutsOnOneClientStayIsolated) {
+  // Regression: many in-flight PUTs to distinct keys multiplexed over ONE
+  // client object (the open-loop pool pattern). Each PUT's install chain
+  // stages its CAS swap operand in on-NIC scratch; with a single shared
+  // slot, interleaved chains install each other's ⟨ptr,bound⟩, aliasing two
+  // buckets to one buffer and orphaning the other key permanently. Scratch
+  // is leased per in-flight PUT, so every key must stay reachable with its
+  // own value.
+  int completed = 0;
+  for (int i = 0; i < 32; ++i) {
+    sim::Spawn([&, i]() -> Task<void> {
+      std::string k = "iso-" + std::to_string(i);
+      Status put =
+          co_await client_->Put(k, BytesOfString("val-" + std::to_string(i)));
+      EXPECT_TRUE(put.ok()) << k << ": " << put;
+      completed++;
+    });
+  }
+  sim_.Run();
+  EXPECT_EQ(completed, 32);
+  bool checked = false;
+  sim::Spawn([&]() -> Task<void> {
+    for (int i = 0; i < 32; ++i) {
+      std::string k = "iso-" + std::to_string(i);
+      auto got = co_await client_->Get(k);
+      EXPECT_TRUE(got.ok()) << k << ": " << got.status();
+      if (got.ok()) {
+        EXPECT_EQ(StringOfBytes(*got), "val-" + std::to_string(i)) << k;
+      }
+    }
+    checked = true;
+  });
+  sim_.Run();
+  EXPECT_TRUE(checked);
+}
+
 TEST_F(PrismKvTest, ConcurrentReadersDuringWritesSeeConsistentRecords) {
   // Readers racing a stream of writes must always see some complete value
   // ("v<i>"), never a torn mix — PRISM-KV's out-of-place update guarantee.

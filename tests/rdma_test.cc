@@ -2,7 +2,10 @@
 // fabric-level one-sided operations with calibrated timing.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "src/net/fabric.h"
+#include "src/rdma/batch.h"
 #include "src/rdma/memory.h"
 #include "src/rdma/service.h"
 #include "src/rdma/verbs.h"
@@ -417,6 +420,139 @@ TEST_F(RdmaFabricTest, ServerEgressSaturatesUnderLoad) {
   // 200 replies * (512+60)B * 8 / 25Gbps = 36.6 µs minimum wall time.
   EXPECT_GT(sim::ToMicros(last_completion), 36.0);
   EXPECT_LT(sim::ToMicros(last_completion), 55.0);
+}
+
+// ---------- Verb-layer doorbell batching / completion coalescing ----------
+
+TEST_F(RdmaFabricTest, UnbatchedClientTicksOneDoorbellAndPollPerOp) {
+  mem_.Store(region_.base, Bytes(64, 1));
+  sim::Spawn([&]() -> Task<void> {
+    for (int i = 0; i < 3; ++i) {
+      auto r =
+          co_await client_.Read(&hw_service_, region_.rkey, region_.base, 64);
+      EXPECT_TRUE(r.ok());
+    }
+  });
+  sim_.Run();
+  EXPECT_EQ(client_.tally().round_trips, 3u);
+  EXPECT_EQ(client_.tally().doorbells, 3u);
+  EXPECT_EQ(client_.tally().cq_polls, 3u);
+}
+
+TEST_F(RdmaFabricTest, DoorbellBatchingAmortizesClientActions) {
+  mem_.Store(region_.base, Bytes(64, 2));
+  BatchOptions opts;
+  opts.doorbell_batch = 4;
+  opts.cq_moderation = 4;
+  VerbBatcher batcher(&sim_, &fabric_.cost(), opts);
+  client_.set_batcher(&batcher);
+  int done = 0;
+  for (int i = 0; i < 4; ++i) {
+    sim::Spawn([&]() -> Task<void> {
+      auto r =
+          co_await client_.Read(&hw_service_, region_.rkey, region_.base, 64);
+      EXPECT_TRUE(r.ok());
+      done++;
+    });
+  }
+  sim_.Run();
+  EXPECT_EQ(done, 4);
+  // Protocol shape untouched: still one round trip per op.
+  EXPECT_EQ(client_.tally().round_trips, 4u);
+  // Client CPU actions amortized: the 4 WRs shared one doorbell ring, and
+  // the 4 responses (landing within the coalescing window) one CQ drain.
+  EXPECT_EQ(batcher.wrs_posted(), 4u);
+  EXPECT_EQ(batcher.doorbells_rung(), 1u);
+  EXPECT_EQ(batcher.cqes_reaped(), 4u);
+  EXPECT_EQ(batcher.cq_drains(), 1u);
+  EXPECT_EQ(client_.tally().doorbells, 1u);
+  EXPECT_EQ(client_.tally().cq_polls, 1u);
+}
+
+TEST_F(RdmaFabricTest, PartialBatchFlushesOnTimeout) {
+  // A lone op with an 8-deep batch still completes: the doorbell rings at
+  // db_timeout and the CQ drains at cq_timeout, adding ~4 µs to the
+  // calibrated 2.5 µs read.
+  mem_.Store(region_.base, Bytes(64, 3));
+  VerbBatcher batcher(&sim_, &fabric_.cost(), BatchOptions::Batched());
+  client_.set_batcher(&batcher);
+  sim::TimePoint done_at = 0;
+  sim::Spawn([&]() -> Task<void> {
+    auto r =
+        co_await client_.Read(&hw_service_, region_.rkey, region_.base, 64);
+    EXPECT_TRUE(r.ok());
+    done_at = sim_.Now();
+  });
+  sim_.Run();
+  EXPECT_EQ(batcher.doorbells_rung(), 1u);
+  EXPECT_EQ(batcher.cq_drains(), 1u);
+  EXPECT_NEAR(sim::ToMicros(done_at),
+              2.5 + sim::ToMicros(batcher.options().db_timeout) +
+                  sim::ToMicros(batcher.options().cq_timeout),
+              0.3);
+}
+
+TEST_F(RdmaFabricTest, BatchOfOneMatchesUnbatchedPath) {
+  // doorbell_batch == cq_moderation == 1 must charge exactly the flat
+  // client_post/completion costs: same timing and same tally as no batcher.
+  mem_.Store(region_.base, Bytes(512, 4));
+  sim::TimePoint unbatched_done = 0;
+  sim::Spawn([&]() -> Task<void> {
+    auto r =
+        co_await client_.Read(&hw_service_, region_.rkey, region_.base, 512);
+    EXPECT_TRUE(r.ok());
+    unbatched_done = sim_.Now();
+  });
+  sim_.Run();
+
+  VerbBatcher batcher(&sim_, &fabric_.cost(), BatchOptions{});
+  RdmaClient batched(&fabric_, client_host_);
+  batched.set_batcher(&batcher);
+  sim::TimePoint start = sim_.Now();
+  sim::TimePoint batched_done = 0;
+  sim::Spawn([&]() -> Task<void> {
+    auto r =
+        co_await batched.Read(&hw_service_, region_.rkey, region_.base, 512);
+    EXPECT_TRUE(r.ok());
+    batched_done = sim_.Now();
+  });
+  sim_.Run();
+  EXPECT_EQ(batched_done - start, unbatched_done);
+  EXPECT_EQ(batched.tally().doorbells, 1u);
+  EXPECT_EQ(batched.tally().cq_polls, 1u);
+  EXPECT_EQ(batched.tally().round_trips, client_.tally().round_trips);
+}
+
+TEST(VerbBatcherDeterminismTest, BatchedRunReplaysBitIdentically) {
+  auto run = [] {
+    sim::Simulator sim;
+    net::Fabric fabric(&sim, net::CostModel::Fig1DirectTestbed());
+    net::HostId server = fabric.AddHost("server");
+    net::HostId client_host = fabric.AddHost("client");
+    AddressSpace mem(1 << 20);
+    RdmaService service(&fabric, server, Backend::kHardwareNic, &mem);
+    MemoryRegion region = *mem.CarveAndRegister(8192, kRemoteAll);
+    mem.Store(region.base, Bytes(64, 9));
+    RdmaClient client(&fabric, client_host);
+    BatchOptions opts;
+    opts.doorbell_batch = 3;
+    opts.cq_moderation = 3;
+    VerbBatcher batcher(&sim, &fabric.cost(), opts);
+    client.set_batcher(&batcher);
+    std::vector<int64_t> completions;
+    for (int i = 0; i < 8; ++i) {
+      sim::Spawn([&]() -> Task<void> {
+        auto r =
+            co_await client.Read(&service, region.rkey, region.base, 64);
+        EXPECT_TRUE(r.ok());
+        completions.push_back(sim.Now());
+      });
+    }
+    sim.Run();
+    completions.push_back(static_cast<int64_t>(sim.executed_events()));
+    return completions;
+  };
+  EXPECT_EQ(run(), run());
 }
 
 }  // namespace

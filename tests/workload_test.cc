@@ -6,7 +6,12 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/harness/sweep.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+#include "src/workload/arrival.h"
 #include "src/workload/driver.h"
+#include "src/workload/open_loop.h"
 #include "src/workload/zipf.h"
 
 namespace prism::workload {
@@ -133,6 +138,244 @@ TEST(RecorderTest, AbortRate) {
   for (int i = 0; i < 10; ++i) recorder.RecordAbort();
   auto point = MakeLoadPoint(1, recorder);
   EXPECT_DOUBLE_EQ(point.abort_rate, 0.1);
+}
+
+// ---------- Arrival processes ----------
+
+// Simulates the process and returns per-window arrival counts.
+std::vector<int> WindowCounts(ArrivalProcess* p, int n_windows,
+                              int64_t window_ns) {
+  std::vector<int> counts(n_windows, 0);
+  const int64_t end = static_cast<int64_t>(n_windows) * window_ns;
+  sim::TimePoint t = 0;
+  while (true) {
+    t += p->NextGap(t);
+    if (t >= end) break;
+    counts[static_cast<size_t>(t / window_ns)]++;
+  }
+  return counts;
+}
+
+double Mean(const std::vector<int>& v) {
+  double s = 0;
+  for (int x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double VarianceToMean(const std::vector<int>& v) {
+  const double m = Mean(v);
+  double ss = 0;
+  for (int x : v) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(v.size() - 1) / m;
+}
+
+TEST(ArrivalTest, PoissonGapsAreExponential) {
+  // λ = 1M ops/s → mean gap 1000 ns. Chi-squared goodness of fit against
+  // Exp(1000 ns) with 10 equal-probability bins; χ²(9 df) < 27.9 accepts at
+  // p = 0.001 (deterministic seed, so this never flakes).
+  ArrivalProcess p(ArrivalSpec::Poisson(1e6), Rng(42));
+  const int n = 20000;
+  const double mean_ns = 1000.0;
+  int bins[10] = {};
+  double sum = 0;
+  sim::TimePoint t = 0;
+  for (int i = 0; i < n; ++i) {
+    const sim::Duration gap = p.NextGap(t);
+    t += gap;
+    sum += static_cast<double>(gap);
+    const double u = 1.0 - std::exp(-static_cast<double>(gap) / mean_ns);
+    int b = static_cast<int>(u * 10.0);
+    if (b > 9) b = 9;
+    bins[b]++;
+  }
+  EXPECT_NEAR(sum / n, mean_ns, 0.03 * mean_ns);
+  const double expected = n / 10.0;
+  double chi2 = 0;
+  for (int b : bins) chi2 += (b - expected) * (b - expected) / expected;
+  EXPECT_LT(chi2, 27.9);
+}
+
+TEST(ArrivalTest, MmppKeepsMeanRateButOverdisperses) {
+  const double rate = 1e6;
+  ArrivalProcess mmpp(ArrivalSpec::Mmpp(rate), Rng(7));
+  ArrivalProcess poisson(ArrivalSpec::Poisson(rate), Rng(7));
+
+  // Derived two-state rates: burst = factor × base, and the dwell-weighted
+  // mean equals the requested rate.
+  const ArrivalSpec& spec = mmpp.spec();
+  EXPECT_NEAR(mmpp.burst_rate() / mmpp.base_rate(), spec.burst_factor, 1e-9);
+  const double mean_per_ns = (1.0 - spec.burst_fraction) * mmpp.base_rate() +
+                             spec.burst_fraction * mmpp.burst_rate();
+  EXPECT_NEAR(mean_per_ns * 1e9, rate, 1e-3);
+
+  // Windowed counts over 0.2 s (2000 × 100 µs windows, matching the burst
+  // dwell scale): MMPP's variance-to-mean ratio is far above the Poisson
+  // value of ~1, at the same mean rate.
+  const int64_t win = 100 * 1000;
+  std::vector<int> cm = WindowCounts(&mmpp, 2000, win);
+  std::vector<int> cp = WindowCounts(&poisson, 2000, win);
+  EXPECT_NEAR(Mean(cm), 100.0, 5.0);
+  EXPECT_NEAR(Mean(cp), 100.0, 5.0);
+  EXPECT_GT(VarianceToMean(cm), 2.0);
+  EXPECT_LT(VarianceToMean(cp), 1.5);
+}
+
+TEST(ArrivalTest, DiurnalKeepsMeanRateAndModulates) {
+  ArrivalSpec spec = ArrivalSpec::Diurnal(1e6);
+  ArrivalProcess p(spec, Rng(11));
+  // 100 whole periods (2 ms each): rising half of the sinusoid vs falling
+  // half. With A = 0.6 the analytic ratio is (1 + 2A/π)/(1 - 2A/π) ≈ 2.2.
+  const int64_t period = spec.diurnal_period;
+  const int64_t half = period / 2;
+  const int periods = 100;
+  int64_t first_half = 0, second_half = 0, total = 0;
+  sim::TimePoint t = 0;
+  const int64_t end = periods * period;
+  while (true) {
+    t += p.NextGap(t);
+    if (t >= end) break;
+    total++;
+    if (t % period < half) {
+      first_half++;
+    } else {
+      second_half++;
+    }
+  }
+  const double seconds = sim::ToSeconds(end);
+  EXPECT_NEAR(static_cast<double>(total) / seconds, 1e6, 0.05 * 1e6);
+  EXPECT_GT(static_cast<double>(first_half),
+            1.5 * static_cast<double>(second_half));
+}
+
+TEST(ArrivalTest, SeededReplayIsBitIdentical) {
+  for (ArrivalKind kind :
+       {ArrivalKind::kPoisson, ArrivalKind::kMmpp, ArrivalKind::kDiurnal}) {
+    ArrivalSpec spec;
+    spec.kind = kind;
+    spec.ops_per_sec = 3e6;
+    ArrivalProcess a(spec, Rng(1234));
+    ArrivalProcess b(spec, Rng(1234));
+    ArrivalProcess c(spec, Rng(4321));
+    sim::TimePoint ta = 0, tb = 0, tc = 0;
+    bool differs = false;
+    for (int i = 0; i < 10000; ++i) {
+      const sim::Duration ga = a.NextGap(ta);
+      const sim::Duration gb = b.NextGap(tb);
+      const sim::Duration gc = c.NextGap(tc);
+      ASSERT_EQ(ga, gb) << spec.KindName() << " draw " << i;
+      if (ga != gc) differs = true;
+      ta += ga;
+      tb += gb;
+      tc += gc;
+    }
+    EXPECT_TRUE(differs) << "different seeds should diverge";
+  }
+}
+
+// ---------- Open-loop pools ----------
+
+TEST(OpenLoopPoolTest, SyntheticOpsFlowThroughCompactSlots) {
+  sim::Simulator sim;
+  OpenLoopPool pool(&sim, ArrivalSpec::Poisson(1e6), 1000, Rng(5));
+  pool.AddClass("fast", 3.0, [&sim](uint64_t) -> sim::Task<void> {
+    co_await sim::SleepFor(&sim, sim::Micros(5));
+  });
+  pool.AddClass("slow", 1.0, [&sim](uint64_t) -> sim::Task<void> {
+    co_await sim::SleepFor(&sim, sim::Micros(50));
+  });
+  pool.Start(sim::Micros(100), sim::Millis(2));
+  sim.RunUntil(sim::Millis(3));
+  sim.Run();
+  pool.CheckDrained();
+
+  // Open-loop arrivals land at the configured rate (1M/s × 2 ms ≈ 2000) and
+  // every arrival completes once the drain window runs out.
+  EXPECT_NEAR(static_cast<double>(pool.arrivals()), 2000.0, 150.0);
+  EXPECT_EQ(pool.completions(), pool.arrivals());
+  EXPECT_EQ(pool.class_completions(0) + pool.class_completions(1),
+            pool.completions());
+  // Weighted 3:1 class split over the population.
+  EXPECT_GT(pool.class_completions(0), 2 * pool.class_completions(1));
+
+  // Flat per-client state: exactly one 16-byte slot per logical client.
+  EXPECT_EQ(pool.state_bytes(), 1000 * sizeof(ClientSlot));
+
+  // Latency is measured from arrival, so it is bounded below by the service
+  // time; at 6% worker utilization there is essentially no backlog wait.
+  LatencyHistogram::Summary fast = pool.recorder(0).hist().Summarize();
+  EXPECT_GE(fast.min_us, 5.0);
+  EXPECT_LT(fast.p50_us, 7.0);
+  LatencyHistogram::Summary slow = pool.recorder(1).hist().Summarize();
+  EXPECT_GE(slow.min_us, 50.0);
+
+  // Slot state machines come to rest: all issued ops finished.
+  uint64_t issued = 0;
+  for (uint64_t i = 0; i < pool.n_clients(); ++i) {
+    issued += pool.client(i).issued;
+    EXPECT_EQ(pool.client(i).outstanding, 0);
+  }
+  EXPECT_EQ(issued, pool.arrivals());
+}
+
+TEST(OpenLoopPoolTest, BacklogQueueingShowsUpInLatency) {
+  // 4 workers × 100 µs service = 40k ops/s capacity against 200k ops/s
+  // offered: the backlog grows and arrival-to-completion latency includes
+  // the client-side queue wait — the overload signal fig_overload plots.
+  sim::Simulator sim;
+  PoolOptions opts;
+  opts.workers = 4;
+  OpenLoopPool pool(&sim, ArrivalSpec::Poisson(200e3), 100, Rng(9), opts);
+  pool.AddClass("op", 1.0, [&sim](uint64_t) -> sim::Task<void> {
+    co_await sim::SleepFor(&sim, sim::Micros(100));
+  });
+  pool.Start(0, sim::Millis(5));
+  sim.RunUntil(sim::Millis(6));
+  sim.Run();
+  pool.CheckDrained();
+  EXPECT_EQ(pool.completions(), pool.arrivals());
+  EXPECT_GT(pool.peak_backlog(), 100u);
+  LatencyHistogram::Summary s = pool.recorder(0).hist().Summarize();
+  // Mean latency is dominated by queueing, far above the 100 µs service.
+  EXPECT_GT(s.mean_us, 300.0);
+}
+
+TEST(OpenLoopPoolTest, SweepIsBitIdenticalAcrossJobs) {
+  // The same seeded points through the parallel sweep harness at --jobs=1
+  // and --jobs=8 must produce byte-identical results: every draw comes off
+  // explicit per-point rngs inside single-threaded simulations.
+  auto make_point = [](uint64_t seed) -> harness::SweepPoint<std::vector<double>> {
+    return [seed]() -> std::vector<double> {
+      sim::Simulator sim;
+      OpenLoopPool pool(&sim, ArrivalSpec::Mmpp(2e6), 10000, Rng(seed));
+      pool.AddClass("op", 1.0, [&sim](uint64_t draw) -> sim::Task<void> {
+        co_await sim::SleepFor(&sim, sim::Nanos(500 + (draw % 1000)));
+      });
+      pool.Start(sim::Micros(50), sim::Millis(1));
+      sim.RunUntil(sim::Millis(1) + sim::Micros(200));
+      sim.Run();
+      pool.CheckDrained();
+      LatencyHistogram::Summary s = pool.recorder(0).hist().Summarize();
+      return {static_cast<double>(pool.arrivals()),
+              static_cast<double>(pool.completions()),
+              static_cast<double>(pool.peak_backlog()),
+              static_cast<double>(sim.executed_events()),
+              static_cast<double>(sim.Now()),
+              s.mean_us,
+              s.p50_us,
+              s.p99_us,
+              s.p999_us};
+    };
+  };
+  std::vector<harness::SweepPoint<std::vector<double>>> points;
+  for (uint64_t seed = 1; seed <= 8; ++seed) points.push_back(make_point(seed));
+  harness::SweepOptions serial;
+  serial.jobs = 1;
+  harness::SweepOptions wide;
+  wide.jobs = 8;
+  std::vector<std::vector<double>> a = harness::RunSweep(points, serial);
+  std::vector<std::vector<double>> b = harness::RunSweep(points, wide);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a[0][0], 1000.0);  // the points actually simulated load
 }
 
 }  // namespace
