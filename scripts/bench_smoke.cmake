@@ -284,3 +284,72 @@ if(NOT out MATCHES "guard: ok")
 endif()
 
 message(STATUS "fig_overload OK: 4 series validated, flat-memory guard passed")
+
+if(NOT SYNC_BIN)
+  return()
+endif()
+
+# ---- synchronization-scheme spectrum driver ----
+# A fast-mode sweep: the fig_sync entry must carry one series per scheme,
+# each point with positive throughput and round_trips_per_op complexity rows
+# for both op classes. The driver itself PRISM_CHECKs that PRISM-native
+# chains beat CAS-spinlock on round trips per op at the top offered rate, so
+# a zero exit already certifies the figure's headline claim.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env PRISM_BENCH_FAST=1 ${SYNC_BIN} --jobs=2
+  WORKING_DIRECTORY ${WORK_DIR}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fig_sync exited with ${rc}:\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "sync-assert")
+  message(FATAL_ERROR "fig_sync printed no round-trip assertions:\n${out}")
+endif()
+
+file(READ ${figs_path} figs)
+string(JSON n_series LENGTH "${figs}" fig_sync series)
+if(NOT n_series EQUAL 4)
+  message(FATAL_ERROR "fig_sync expected 4 scheme series, got ${n_series}")
+endif()
+string(JSON n_points LENGTH "${figs}" fig_sync series 0 points)
+math(EXPR last_point "${n_points} - 1")
+math(EXPR last_series "${n_series} - 1")
+foreach(s RANGE ${last_series})
+  string(JSON sname GET "${figs}" fig_sync series ${s} name)
+  foreach(p RANGE ${last_point})
+    string(JSON tput GET "${figs}" fig_sync series ${s} points ${p} tput_mops)
+    if(tput LESS_EQUAL 0)
+      message(FATAL_ERROR
+        "fig_sync series '${sname}' point ${p}: tput_mops=${tput}, expected > 0")
+    endif()
+    foreach(field clients offered_mops mean_us p50_us p99_us p999_us
+                  sim_events)
+      string(JSON ignored GET "${figs}" fig_sync series ${s} points ${p}
+             ${field})
+    endforeach()
+    string(JSON n_ops LENGTH "${figs}" fig_sync series ${s} points ${p} ops)
+    if(NOT n_ops EQUAL 2)
+      message(FATAL_ERROR
+        "fig_sync series '${sname}' point ${p}: expected 2 op rows, got ${n_ops}")
+    endif()
+    foreach(o RANGE 1)
+      string(JSON rt GET "${figs}" fig_sync series ${s} points ${p} ops ${o}
+             round_trips_per_op)
+      if(rt LESS_EQUAL 0)
+        message(FATAL_ERROR
+          "fig_sync series '${sname}' point ${p} op ${o}: "
+          "round_trips_per_op=${rt}, expected > 0")
+      endif()
+      foreach(field op count round_trips messages_per_op)
+        string(JSON ignored GET "${figs}" fig_sync series ${s} points ${p}
+               ops ${o} ${field})
+      endforeach()
+    endforeach()
+  endforeach()
+endforeach()
+
+message(STATUS "fig_sync OK: ${n_series} scheme series with positive "
+  "throughput and round_trips_per_op rows")

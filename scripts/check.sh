@@ -3,9 +3,11 @@
 # smoke (fig_overload batching invariant + the ≤64 B/client memory guard at
 # 1M logical clients), an ASan+UBSan build of
 # the whole tree with the sanitize-labeled test suite, the chaos sweeps, the
-# schedule-space exploration sweeps (label: explore), a ThreadSanitizer pass
-# over the threaded sweep-harness paths, and the gcov line-coverage floor on
-# src/check/ + src/explore/ (scripts/coverage.sh).
+# schedule-space exploration sweeps (label: explore), the one-sided
+# synchronization suite (label: sync) under both the ASan and TSan presets,
+# a ThreadSanitizer pass over the threaded sweep-harness paths, and the gcov
+# line-coverage floor on src/check/ + src/explore/ + src/sync/
+# (scripts/coverage.sh).
 #
 #   scripts/check.sh                 # tier-1 + sanitizers
 #   scripts/check.sh --fast          # tier-1 only
@@ -67,6 +69,9 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L chaos
 echo "==> explore: schedule-space exploration sweeps under ASan (label: explore)"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L explore
 
+echo "==> sync: one-sided synchronization suite under ASan (label: sync)"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L sync
+
 echo "==> tsan: ThreadSanitizer configure + build (build-tsan/)"
 cmake --preset tsan >/dev/null
 cmake --build build-tsan -j "$JOBS"
@@ -75,7 +80,10 @@ echo "==> tsan: sweep harness + chaos sweeps under TSan"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
       -R 'SweepHarness|ChaosSweep'
 
-echo "==> coverage: gcov line-coverage floor on src/check/ + src/explore/"
+echo "==> tsan: one-sided synchronization suite under TSan (label: sync)"
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L sync
+
+echo "==> coverage: gcov line-coverage floor on src/check/ + src/explore/ + src/sync/"
 scripts/coverage.sh --jobs "$JOBS"
 
 echo "OK"

@@ -113,15 +113,31 @@ SeedReport ExploreSeed(Workload kind, uint64_t seed,
   rep.seed = seed;
   std::optional<std::vector<Perturbation>> first_fail;
   int fault_windows = 0;
+  // Step count of the first run, used to place later runs' perturbation
+  // bursts. Budget and rate confine each run's perturbations to a window of
+  // roughly budget/rate steps starting at the hook offset. Even-indexed
+  // runs burst at the prefix (offset 0, where client start-up races
+  // cluster); odd-indexed runs slide the burst to a seed-deterministic
+  // position in [0, horizon), so races deep in the schedule — e.g. a
+  // critical-section handoff thousands of events in — see the same
+  // perturbation density as the prefix.
+  uint64_t horizon = 0;
   for (int r = 0; r < opts.runs; ++r) {
+    uint64_t offset = 0;
+    if ((r % 2) == 1 && horizon > 0) {
+      offset = MixSeed(opts.explore_seed ^ 0x62757273ull, seed,
+                       static_cast<uint64_t>(r)) %
+               horizon;
+    }
     PerturbHook hook(MixSeed(opts.explore_seed, seed, static_cast<uint64_t>(r)),
-                     opts.delta, opts.budget, opts.rate);
+                     opts.delta, opts.budget, opts.rate, offset);
     WorkloadOptions wo;
     wo.kind = kind;
     wo.seed = seed;
     wo.hook = &hook;
     RunOutcome o = RunWorkload(wo);
     ++rep.runs;
+    if (r == 0) horizon = hook.steps();
     if (!o.ok) {
       ++rep.failures;
       if (!first_fail.has_value()) {

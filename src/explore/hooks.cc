@@ -4,6 +4,7 @@ namespace prism::explore {
 
 size_t PerturbHook::Pick(const std::vector<sim::EnabledEvent>& enabled) {
   const uint64_t step = steps_++;
+  if (step < offset_) return 0;
   if (enabled.size() <= 1) return 0;
   if (static_cast<int>(applied_.size()) >= budget_) return 0;
   // The RNG is consulted only on multi-event steps under budget, and the

@@ -5,12 +5,18 @@
 //  * IdentityHook    — always picks the earliest (when, seq) event. The
 //                      execution is bit-identical to the production engine;
 //                      obs_determinism_test pins this down.
-//  * PerturbHook     — seeded random exploration: at each step, with a
-//                      configured probability and while a perturbation
-//                      budget remains, picks a uniformly random non-front
-//                      event from the enabled window. Every non-identity
-//                      decision is recorded as a Perturbation, so a failing
-//                      run replays exactly through a ReplayHook.
+//  * PerturbHook     — seeded random exploration: identity for the first
+//                      `offset` steps, then at each step, with a configured
+//                      probability and while a perturbation budget remains,
+//                      picks a uniformly random non-front event from the
+//                      enabled window. Rate and budget bound the burst to
+//                      roughly budget/rate steps past the offset, so the
+//                      offset is what positions it: the explorer slides the
+//                      burst across the schedule run by run, giving races
+//                      deep in a long execution the same perturbation
+//                      density as the prefix. Every non-identity decision
+//                      is recorded as a Perturbation, so a failing run
+//                      replays exactly through a ReplayHook.
 //  * ReplayHook      — deterministic replay of an explicit perturbation
 //                      list: at the recorded step numbers it repeats the
 //                      recorded choices, identity everywhere else. The
@@ -61,8 +67,9 @@ class IdentityHook : public sim::ScheduleHook {
 class PerturbHook : public sim::ScheduleHook {
  public:
   PerturbHook(uint64_t seed, sim::Duration delta, int budget,
-              double rate = 0.3)
-      : rng_(seed), delta_(delta), budget_(budget), rate_(rate) {}
+              double rate = 0.3, uint64_t offset = 0)
+      : rng_(seed), delta_(delta), budget_(budget), rate_(rate),
+        offset_(offset) {}
 
   sim::Duration window() const override { return delta_; }
   size_t Pick(const std::vector<sim::EnabledEvent>& enabled) override;
@@ -76,6 +83,7 @@ class PerturbHook : public sim::ScheduleHook {
   sim::Duration delta_;
   int budget_;
   double rate_;
+  uint64_t offset_;
   uint64_t steps_ = 0;
   std::vector<Perturbation> applied_;
 };

@@ -15,6 +15,7 @@
 #include "src/net/fabric.h"
 #include "src/rs/prism_rs.h"
 #include "src/sim/task.h"
+#include "src/sync/sync.h"
 #include "src/tx/prism_tx.h"
 
 namespace prism::explore {
@@ -23,7 +24,11 @@ namespace {
 
 using sim::Task;
 
-const char* kWorkloadNames[] = {"toy", "rs", "kv", "tx"};
+const char* kWorkloadNames[] = {"toy",        "rs",        "kv",
+                                "tx",         "sync_spin", "sync_opt",
+                                "sync_lease", "sync_prism", "sync_buggy"};
+constexpr int kWorkloadCount =
+    static_cast<int>(sizeof(kWorkloadNames) / sizeof(kWorkloadNames[0]));
 
 // Explorer workloads are small cousins of the chaos_test sweeps: the
 // explorer runs each (workload, seed) point N times and the shrinker dozens
@@ -455,14 +460,139 @@ RunOutcome RunTx(uint64_t seed, sim::ScheduleHook* hook,
   return out;
 }
 
+// ---- sync: one-sided synchronization schemes over the remote hash index.
+// Chaos-free: the failure surface under study is schedule reordering. ----
+
+sync::SyncScheme SchemeFor(Workload kind) {
+  switch (kind) {
+    case Workload::kSyncSpin:
+      return sync::SyncScheme::kSpinlock;
+    case Workload::kSyncOpt:
+      return sync::SyncScheme::kOptimistic;
+    case Workload::kSyncLease:
+      return sync::SyncScheme::kLease;
+    case Workload::kSyncPrism:
+      return sync::SyncScheme::kPrismNative;
+    default:
+      return sync::SyncScheme::kUnfencedBuggy;
+  }
+}
+
+RunOutcome RunSync(Workload kind, uint64_t seed, sim::ScheduleHook* hook) {
+  constexpr uint64_t kKeys = 2;
+  constexpr int kOpsPerClient = 6;
+
+  sim::Simulator sim;
+  if (hook != nullptr) sim.SetScheduleHook(hook);
+  net::Fabric fabric(&sim, net::CostModel::EvalCluster40G(),
+                     /*loss_seed=*/seed);
+  net::HostId server_host = fabric.AddHost("index");
+  sync::SyncOptions opts;
+  opts.n_slots = 16;
+  sync::SyncIndexServer server(&fabric, server_host, opts);
+  const check::ValueId initial = check::IdOf(sync::InitialValue());
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    PRISM_CHECK(server.LoadKey(k, sync::InitialValue()).ok());
+  }
+
+  check::HistoryRecorder history(&sim);
+  std::vector<std::unique_ptr<sync::SyncClient>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    net::HostId h = fabric.AddHost("client" + std::to_string(c));
+    clients.push_back(std::make_unique<sync::SyncClient>(
+        &fabric, h, &server, SchemeFor(kind), static_cast<uint16_t>(c + 1),
+        seed * 131 + static_cast<uint64_t>(c)));
+    clients[c]->set_history(&history, c + 1);
+    // Steady-state geometry (probe paths are covered by sync_test and the
+    // bench): every perturbation-budget step lands on the contended path.
+    for (uint64_t k = 1; k <= kKeys; ++k) clients[c]->Prewarm(k);
+  }
+
+  sim::TaskTracker tracker;
+  for (int c = 0; c < kClients; ++c) {
+    sim::Spawn(
+        [&, c]() -> Task<void> {
+          Rng rng(seed * 977 + static_cast<uint64_t>(c));
+          for (int i = 0; i < kOpsPerClient; ++i) {
+            // Skewed contention: most ops collide on key 1, immediately.
+            const uint64_t key =
+                rng.NextBool(0.75) ? 1 : 1 + rng.NextBelow(kKeys);
+            if (rng.NextBool(0.6)) {
+              (void)co_await clients[c]->Update(
+                  key, sync::MakeValue(seed, c, i));
+            } else {
+              (void)co_await clients[c]->Read(key);
+            }
+            co_await sim::SleepFor(&sim, sim::Micros(rng.NextInRange(0, 6)));
+          }
+        },
+        &tracker);
+  }
+  sim.Run();
+
+  RunOutcome out;
+  out.executed_events = sim.executed_events();
+  out.history_fingerprint = HistoryFingerprint(history.ops());
+  if (tracker.live() > 0) {
+    Fail(&out, "hang", "sync clients still live after the sim drained");
+    return out;
+  }
+  check::CheckResult lin = check::CheckLinearizable(history.ops(), initial);
+  if (!lin.ok) {
+    Fail(&out, "linearizability", std::move(lin.error));
+    return out;
+  }
+  // The index lives in one AddressSpace and the sim has drained, so
+  // server-local loads ARE the quiescent final state — no extra reads.
+  std::vector<FinalRead> finals;
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    finals.push_back({k, server.FinalValue(k)});
+  }
+  check::CheckResult diff = DiffFinalState(history.ops(), finals, initial);
+  if (!diff.ok) Fail(&out, "final-state", std::move(diff.error));
+  return out;
+}
+
 }  // namespace
+
+sim::Duration DefaultDelta(Workload kind) {
+  switch (kind) {
+    case Workload::kSyncSpin:
+    case Workload::kSyncOpt:
+    case Workload::kSyncLease:
+    case Workload::kSyncPrism:
+    case Workload::kSyncBuggy:
+      // Sync races span a few fabric hops (post → deliver → NIC → effect),
+      // each a distinct event: a ~µs window lets a handful of reorder
+      // decisions compound across one critical-section handoff.
+      return sim::Micros(2);
+    default:
+      return sim::Nanos(1000);
+  }
+}
+
+int DefaultRuns(Workload kind) {
+  switch (kind) {
+    case Workload::kSyncSpin:
+    case Workload::kSyncOpt:
+    case Workload::kSyncLease:
+    case Workload::kSyncPrism:
+    case Workload::kSyncBuggy:
+      // Each run's perturbation burst probes one position in the schedule
+      // (see ExploreSeed); critical-section handoffs are narrow, so give
+      // the burst more positions per seed.
+      return 32;
+    default:
+      return 8;
+  }
+}
 
 const char* WorkloadName(Workload kind) {
   return kWorkloadNames[static_cast<int>(kind)];
 }
 
 bool WorkloadFromName(std::string_view name, Workload* out) {
-  for (int i = 0; i < 4; ++i) {
+  for (int i = 0; i < kWorkloadCount; ++i) {
     if (name == kWorkloadNames[i]) {
       *out = static_cast<Workload>(i);
       return true;
@@ -481,6 +611,12 @@ RunOutcome RunWorkload(const WorkloadOptions& opts) {
       return RunKv(opts.seed, opts.hook, opts.disabled_windows);
     case Workload::kTx:
       return RunTx(opts.seed, opts.hook, opts.disabled_windows);
+    case Workload::kSyncSpin:
+    case Workload::kSyncOpt:
+    case Workload::kSyncLease:
+    case Workload::kSyncPrism:
+    case Workload::kSyncBuggy:
+      return RunSync(opts.kind, opts.seed, opts.hook);
   }
   return RunOutcome{};
 }

@@ -31,7 +31,30 @@ enum class Workload {
   kRs,   // PRISM-RS: 3-replica ABD under chaos
   kKv,   // PRISM-KV: single server under chaos
   kTx,   // PRISM-TX: 2 shards under chaos, read-committed
+  // One-sided synchronization schemes over the remote hash index
+  // (src/sync). Chaos-free: the interesting failure surface is schedule
+  // reordering, and fault-free runs keep shrunk reproducers perturbation-
+  // only. sync_buggy is the positive control — canonical schedules are
+  // clean, bounded reordering tears its unfenced critical sections.
+  kSyncSpin,
+  kSyncOpt,
+  kSyncLease,
+  kSyncPrism,
+  kSyncBuggy,
 };
+
+// The enabled-window width a workload's races need. The sync schemes race
+// verbs that are several fabric events apart, so they want a wider window
+// than the toy's nanosecond-scale bug; tools/explore_main uses this as the
+// per-workload default when --delta is not given.
+sim::Duration DefaultDelta(Workload kind);
+
+// Perturbed runs per seed. The sync schemes' races live in short effect
+// clusters scattered across the schedule — each run's perturbation burst
+// covers one position, so they need more runs than the chaos workloads,
+// whose fault windows already stretch across the whole execution;
+// tools/explore_main uses this when --explore is not given.
+int DefaultRuns(Workload kind);
 
 const char* WorkloadName(Workload kind);
 bool WorkloadFromName(std::string_view name, Workload* out);

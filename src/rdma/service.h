@@ -22,6 +22,7 @@
 #define PRISM_SRC_RDMA_SERVICE_H_
 
 #include <memory>
+#include <unordered_map>
 #include <utility>
 
 #include "src/common/status.h"
@@ -79,6 +80,43 @@ class RdmaService {
     fabric_->obs().FinishSpan(span, fabric_->simulator()->Now());
   }
 
+  // ---- Same-QP ordering around atomics ---------------------------------
+  //
+  // Real RNIC responders execute a QP's inbound requests in PSN order. The
+  // model relaxes that so the multi-unit NIC pipeline can overlap cheap
+  // READs with expensive ops from the same source — EXCEPT around atomics:
+  // an atomic is an ordering point, and every request from the same source
+  // host that *arrives after* an in-flight atomic begins execution only
+  // once that atomic's memory effect has landed. Without this fence a
+  // doorbell-batched [CAS; dependent READ] pair reorders at the responder
+  // (the CAS pays atomic_overhead, the READ does not) and the READ observes
+  // pre-CAS memory — an outcome no hardware QP can produce (qp_test pins
+  // it). Plain READ/WRITE pairs still pipeline freely, so open-loop pools
+  // that multiplex many workers over one client are not serialized.
+  struct AtomicTicket {
+    std::shared_ptr<sim::Event> prev;  // await before executing (may be null)
+    std::shared_ptr<sim::Event> mine;  // Set() once the effect has landed
+  };
+
+  // Called by an atomic verb, synchronously at request delivery (so arrival
+  // order matches PSN order): chains this atomic behind any in-flight one
+  // from the same source and installs its own gate for later arrivals.
+  AtomicTicket AtomicBegin(net::HostId src) {
+    AtomicTicket t;
+    std::shared_ptr<sim::Event>& tail = atomic_tail_[src];
+    t.prev = tail;
+    t.mine = std::make_shared<sim::Event>(fabric_->simulator());
+    tail = t.mine;
+    return t;
+  }
+
+  // Called by a non-atomic verb, synchronously at request delivery: the
+  // gate of the most recent atomic from the same source, if any.
+  std::shared_ptr<sim::Event> AtomicGate(net::HostId src) const {
+    auto it = atomic_tail_.find(src);
+    return it == atomic_tail_.end() ? nullptr : it->second;
+  }
+
  private:
   net::Fabric* fabric_;
   net::HostId host_;
@@ -87,6 +125,8 @@ class RdmaService {
   sim::ServiceQueue nic_pipeline_;
   obs::Counter* ops_metric_;
   uint64_t ops_executed_ = 0;
+  // Per-source tail of the atomic ordering chain (see AtomicBegin).
+  std::unordered_map<net::HostId, std::shared_ptr<sim::Event>> atomic_tail_;
 };
 
 class RdmaClient {
@@ -122,6 +162,8 @@ class RdmaClient {
         [this, svc, rkey, addr, len, state] {
           fabric_->obs().SetCurrentSpan(state->span);
           sim::Spawn([this, svc, rkey, addr, len, state]() -> sim::Task<void> {
+            auto gate = svc->AtomicGate(self_);
+            if (gate != nullptr) co_await gate->Wait();
             co_await svc->ServerPath(fabric_->cost().pcie_read_rtt);
             state->result = Verbs::Read(svc->memory(), rkey, addr, len);
             Respond(svc, state,
@@ -148,6 +190,8 @@ class RdmaClient {
           fabric_->obs().SetCurrentSpan(state->span);
           sim::Spawn([this, svc, rkey, addr, payload,
                       state]() -> sim::Task<void> {
+            auto gate = svc->AtomicGate(self_);
+            if (gate != nullptr) co_await gate->Wait();
             co_await svc->ServerPath(fabric_->cost().pcie_write);
             Status s = Verbs::Write(svc->memory(), rkey, addr, *payload);
             if (s.ok()) {
@@ -178,11 +222,14 @@ class RdmaClient {
           fabric_->obs().SetCurrentSpan(state->span);
           sim::Spawn([this, svc, rkey, addr, compare, swap,
                       state]() -> sim::Task<void> {
+            auto ticket = svc->AtomicBegin(self_);
+            if (ticket.prev != nullptr) co_await ticket.prev->Wait();
             const net::CostModel& cost = fabric_->cost();
             co_await svc->ServerPath(cost.pcie_read_rtt +
                                      cost.atomic_overhead);
             state->result =
                 Verbs::CompareSwap(svc->memory(), rkey, addr, compare, swap);
+            ticket.mine->Set();
             Respond(svc, state, /*payload=*/8);
           });
         },
@@ -205,11 +252,14 @@ class RdmaClient {
           fabric_->obs().SetCurrentSpan(state->span);
           sim::Spawn(
               [this, svc, rkey, addr, delta, state]() -> sim::Task<void> {
+                auto ticket = svc->AtomicBegin(self_);
+                if (ticket.prev != nullptr) co_await ticket.prev->Wait();
                 const net::CostModel& cost = fabric_->cost();
                 co_await svc->ServerPath(cost.pcie_read_rtt +
                                          cost.atomic_overhead);
                 state->result =
                     Verbs::FetchAdd(svc->memory(), rkey, addr, delta);
+                ticket.mine->Set();
                 Respond(svc, state, /*payload=*/8);
               });
         },
@@ -243,12 +293,15 @@ class RdmaClient {
           fabric_->obs().SetCurrentSpan(state->span);
           sim::Spawn([this, svc, rkey, addr, args, mode, state,
                       width]() -> sim::Task<void> {
+            auto ticket = svc->AtomicBegin(self_);
+            if (ticket.prev != nullptr) co_await ticket.prev->Wait();
             const net::CostModel& cost = fabric_->cost();
             co_await svc->ServerPath(cost.pcie_read_rtt +
                                      cost.atomic_overhead);
             state->result = Verbs::MaskedCompareSwap(
                 svc->memory(), rkey, addr, args->data, args->cmp_mask,
                 args->swap_mask, mode);
+            ticket.mine->Set();
             Respond(svc, state, /*payload=*/width);
           });
         },

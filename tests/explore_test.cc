@@ -459,11 +459,12 @@ TEST(FaultWindowTest, DisablingEveryWindowInjectsNothing) {
 // ---------- end-to-end: the buggy toy replica ----------
 
 // Tuned with tools/explore_main: budget 3 keeps the minimal counterexample
-// small while 300 perturbed runs (stopping at the first hit) find the bug
-// on every seed in [1, 100].
+// small while 500 perturbed runs (stopping at the first hit; half burst at
+// the prefix, half slide across the schedule — see ExploreSeed) find the
+// bug on every seed in [1, 100]. The hungriest seed (19) needs ~310 runs.
 ExploreOptions ToyOptions() {
   ExploreOptions opts;
-  opts.runs = 300;
+  opts.runs = 500;
   opts.budget = 3;
   opts.rate = 0.3;
   opts.delta = sim::Nanos(1000);
@@ -566,6 +567,86 @@ TEST(RealStackTest, NoViolationsUnderBoundedReordering) {
           << rep.error
           << (rep.repro.has_value() ? "\n" + FormatReproducer(*rep.repro)
                                     : std::string());
+    }
+  }
+}
+
+// ---------- end-to-end: sync suite reproducer round trip ----------
+
+// The defaults tools/explore_main resolves for the sync workloads
+// (DefaultRuns/DefaultDelta); seeds 3, 11 and 20 of sync_buggy violate
+// linearizability under them and shrink to <= 5 perturbations.
+ExploreOptions SyncExploreOptions() {
+  ExploreOptions opts;
+  opts.runs = DefaultRuns(Workload::kSyncBuggy);
+  opts.delta = DefaultDelta(Workload::kSyncBuggy);
+  opts.budget = 8;
+  opts.rate = 0.3;
+  opts.stop_on_failure = true;
+  opts.shrink = true;
+  return opts;
+}
+
+TEST(SyncReproducerTest, ShrunkBuggyReproTextRoundTripsAndReplays) {
+  const SeedReport rep =
+      ExploreSeed(Workload::kSyncBuggy, /*seed=*/3, SyncExploreOptions());
+  ASSERT_GT(rep.failures, 0) << "positive control missed the torn read";
+  ASSERT_TRUE(rep.repro.has_value());
+  EXPECT_GE(rep.repro->perturbations.size(), 1u);
+  EXPECT_LE(rep.repro->perturbations.size(), 5u);
+  EXPECT_TRUE(rep.repro->disabled_windows.empty());  // chaos-free workload
+
+  // The artifact survives the "prism-explore v1" text round trip and the
+  // parsed-back copy replays to the same violation — this is exactly what
+  // tools/explore_main --replay loads from disk (exit 0 path).
+  Reproducer back;
+  std::string error;
+  ASSERT_TRUE(ParseReproducer(FormatReproducer(*rep.repro), &back, &error))
+      << error;
+  EXPECT_EQ(back.kind, Workload::kSyncBuggy);
+  EXPECT_EQ(back.perturbations, rep.repro->perturbations);
+  RunOutcome replay = ReplayReproducer(back);
+  ASSERT_FALSE(replay.ok);
+  EXPECT_EQ(replay.check_name, rep.repro->check_name);
+  EXPECT_EQ(replay.error, rep.error);
+
+  // Tampering pins the --replay exit-2 path: the shrunk artifact is
+  // 1-minimal, so dropping any single perturbation stops it reproducing.
+  for (size_t drop = 0; drop < back.perturbations.size(); ++drop) {
+    Reproducer tampered = back;
+    tampered.perturbations.erase(tampered.perturbations.begin() +
+                                 static_cast<std::ptrdiff_t>(drop));
+    RunOutcome weak = ReplayReproducer(tampered);
+    EXPECT_TRUE(weak.ok) << "dropping perturbation " << drop
+                         << " still reproduced — artifact not minimal";
+  }
+}
+
+TEST(SyncReproducerTest, BuggySweepIsDeterministicAcrossJobCounts) {
+  // Same shrunk artifacts regardless of sweep fan-out: the bytes a user
+  // saves with --repro-out are independent of --jobs.
+  std::vector<uint64_t> seeds;
+  for (uint64_t s = 1; s <= 12; ++s) seeds.push_back(s);
+  const SweepReport serial =
+      ExploreSweep(Workload::kSyncBuggy, seeds, SyncExploreOptions(),
+                   /*jobs=*/1);
+  const SweepReport parallel =
+      ExploreSweep(Workload::kSyncBuggy, seeds, SyncExploreOptions(),
+                   /*jobs=*/8);
+  ASSERT_EQ(serial.reports.size(), parallel.reports.size());
+  EXPECT_EQ(serial.total_runs, parallel.total_runs);
+  EXPECT_EQ(serial.failing_seeds, parallel.failing_seeds);
+  EXPECT_GT(serial.failing_seeds, 0) << "expected seeds 3 and 11 to violate";
+  for (size_t i = 0; i < serial.reports.size(); ++i) {
+    const SeedReport& a = serial.reports[i];
+    const SeedReport& b = parallel.reports[i];
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.failures, b.failures);
+    EXPECT_EQ(a.error, b.error);
+    ASSERT_EQ(a.repro.has_value(), b.repro.has_value());
+    if (a.repro.has_value()) {
+      EXPECT_EQ(FormatReproducer(*a.repro), FormatReproducer(*b.repro))
+          << "seed " << a.seed;
     }
   }
 }

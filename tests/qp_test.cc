@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/rdma/batch.h"
 #include "src/rdma/qp.h"
 #include "src/rdma/service.h"
 #include "src/rdma/verbs.h"
@@ -365,6 +366,90 @@ TEST_F(RevokeInFlightTest, RevokeAfterDeliveryDoesNotAffectCompletedOp) {
     EXPECT_EQ(again.code(), Code::kPermissionDenied);
   });
   sim_.Run();
+}
+
+// ---- batched atomics: two clients race a CAS through VerbBatchers ----
+//
+// The sync schemes (src/sync) lean on two properties at once: CAS atomicity
+// across hosts, and the QP's in-order execution of a doorbell batch — a CAS
+// and the READ that depends on it may share one doorbell, but the batcher
+// must never let the READ overtake the CAS.
+TEST(BatchedCasTest, RacingCasLoserObservesWinnerAndBatchKeepsOrder) {
+  sim::Simulator sim;
+  net::Fabric fabric(&sim, net::CostModel::EvalCluster40G());
+  net::HostId server_host = fabric.AddHost("server");
+  net::HostId h1 = fabric.AddHost("c1");
+  net::HostId h2 = fabric.AddHost("c2");
+  AddressSpace mem(1 << 16);
+  RdmaService service(&fabric, server_host, Backend::kHardwareNic, &mem);
+  MemoryRegion region = *mem.CarveAndRegister(64, kRemoteAll);
+  const Addr word = region.base;
+
+  BatchOptions bopts;
+  bopts.doorbell_batch = 2;
+  bopts.cq_moderation = 2;
+  VerbBatcher b1(&sim, &fabric.cost(), bopts);
+  VerbBatcher b2(&sim, &fabric.cost(), bopts);
+  RdmaClient c1(&fabric, h1);
+  RdmaClient c2(&fabric, h2);
+  c1.set_batcher(&b1);
+  c2.set_batcher(&b2);
+
+  struct Outcome {
+    Result<uint64_t> cas = Aborted("pending");
+    Result<Bytes> read = Aborted("pending");
+  };
+  Outcome o1, o2;
+  sim::TaskTracker tracker;
+  auto race = [&](RdmaClient* c, uint64_t id, Outcome* out) {
+    // The CAS and its dependent READ are posted back-to-back with no
+    // completion fence: they ride one doorbell, and only the QP's in-order
+    // execution makes the READ observe the post-CAS word.
+    sim::Spawn(
+        [&sim, &service, &region, word, c, id, out]() -> Task<void> {
+          out->cas =
+              co_await c->CompareSwap(&service, region.rkey, word, 0, id);
+        },
+        &tracker);
+    sim::Spawn(
+        [&sim, &service, &region, word, c, out]() -> Task<void> {
+          co_await sim::SleepFor(&sim, sim::Nanos(80));
+          out->read = co_await c->Read(&service, region.rkey, word, 8);
+        },
+        &tracker);
+  };
+  race(&c1, 1, &o1);
+  race(&c2, 2, &o2);
+  sim.Run();
+  ASSERT_EQ(tracker.live(), 0u);
+
+  ASSERT_TRUE(o1.cas.ok()) << o1.cas.status();
+  ASSERT_TRUE(o2.cas.ok()) << o2.cas.status();
+  ASSERT_TRUE(o1.read.ok()) << o1.read.status();
+  ASSERT_TRUE(o2.read.ok()) << o2.read.status();
+
+  // Exactly one CAS matched the zero word; the loser's returned old value
+  // IS the winner's freshly-swapped id (atomicity: no interleaving where
+  // both see zero, none where the loser sees stale zero).
+  const bool c1_won = (*o1.cas == 0);
+  const bool c2_won = (*o2.cas == 0);
+  EXPECT_NE(c1_won, c2_won);
+  const uint64_t winner = c1_won ? 1u : 2u;
+  EXPECT_EQ(c1_won ? *o2.cas : *o1.cas, winner);
+
+  // Neither dependent READ overtook its CAS through the batcher: both
+  // observe the winner's value, never the pre-CAS zero.
+  EXPECT_EQ(LoadU64(o1.read->data()), winner);
+  EXPECT_EQ(LoadU64(o2.read->data()), winner);
+
+  // Doorbell amortization: each host posted two WRs on one doorbell ring,
+  // and both completions were reaped.
+  EXPECT_EQ(b1.wrs_posted(), 2u);
+  EXPECT_EQ(b1.doorbells_rung(), 1u);
+  EXPECT_EQ(b2.wrs_posted(), 2u);
+  EXPECT_EQ(b2.doorbells_rung(), 1u);
+  EXPECT_EQ(b1.cqes_reaped(), 2u);
+  EXPECT_EQ(b2.cqes_reaped(), 2u);
 }
 
 }  // namespace

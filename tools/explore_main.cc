@@ -6,11 +6,18 @@
 //   explore_main --workload=toy --seeds=100 --explore=8 --delta=1000 \
 //                --budget=8 --jobs=0 --repro-out=repro.txt
 //
-//   --workload=toy|rs|kv|tx   target stack (default toy)
+//   --workload=NAME           target stack (default toy): toy|rs|kv|tx or a
+//                             sync scheme — sync_spin|sync_opt|sync_lease|
+//                             sync_prism|sync_buggy (src/sync)
 //   --seeds=N                 sweep workload seeds 1..N (default 20)
 //   --seed=N                  explore exactly one seed
-//   --explore=N               perturbed runs per seed (default 8)
-//   --delta=NS                enabled-window width in ns (default 1000)
+//   --explore=N               perturbed runs per seed (default: the
+//                             workload's DefaultRuns — 8 for toy/rs/kv/tx,
+//                             32 for the sync schemes, whose races need
+//                             more burst positions)
+//   --delta=NS                enabled-window width in ns (default: the
+//                             workload's DefaultDelta — 1000 for toy/rs/kv/
+//                             tx, 2000 for the sync schemes)
 //   --budget=N                max reorder decisions per run (default 8)
 //   --rate=P                  per-step perturbation probability (default 0.3)
 //   --jobs=N                  sweep worker threads (default: all cores)
@@ -54,6 +61,8 @@ int main(int argc, char** argv) {
   int64_t single_seed = -1;
   explore::ExploreOptions opts;
   opts.stop_on_failure = true;
+  bool delta_set = false;
+  bool runs_set = false;
   int jobs = 0;
   std::string repro_out;
   std::string replay_path;
@@ -76,8 +85,10 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--explore=", 0) == 0 &&
                ParseU64(value("--explore="), &u)) {
       opts.runs = static_cast<int>(u);
+      runs_set = true;
     } else if (arg.rfind("--delta=", 0) == 0 && ParseU64(value("--delta="), &u)) {
       opts.delta = static_cast<prism::sim::Duration>(u);
+      delta_set = true;
     } else if (arg.rfind("--budget=", 0) == 0 &&
                ParseU64(value("--budget="), &u)) {
       opts.budget = static_cast<int>(u);
@@ -122,6 +133,8 @@ int main(int argc, char** argv) {
   }
 
   // ---- explore mode ----
+  if (!delta_set) opts.delta = explore::DefaultDelta(kind);
+  if (!runs_set) opts.runs = explore::DefaultRuns(kind);
   std::vector<uint64_t> seeds;
   if (single_seed >= 0) {
     seeds.push_back(static_cast<uint64_t>(single_seed));
