@@ -1,0 +1,222 @@
+// Ablation: intra-simulation parallelism (DESIGN.md §5.8).
+//
+// Scaling microbench for the windowed parallel DES core. One large
+// simulation — `hosts` hosts paired into cross-partition ping-pong flows,
+// each delivery charged a fixed CPU cost modelling per-message protocol
+// processing — is run at --cores=1/2/4/8. The big DataCenterScale
+// propagation delay (~24us) gives the conservative windows a wide
+// lookahead, so each window carries enough deliveries per partition to
+// amortize the two barrier crossings.
+//
+// Emits results/BENCH_psim.json: one row per cores value with wall time,
+// event throughput, window/barrier counts, and speedup_vs_serial (the
+// cores=1 run through the same ClusterSim is the baseline). The executed
+// event count is asserted identical across all cores values — the scaling
+// claim is only meaningful because every run does the exact same work.
+//
+// PRISM_BENCH_FAST=1 (the bench_smoke contract) shrinks the grid to
+// cores={1,2} over a small host count so the schema check stays fast.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/harness/sweep.h"
+#include "src/net/fabric.h"
+#include "src/sim/psim.h"
+
+namespace {
+
+struct PsimRow {
+  int hosts = 0;
+  int cores = 0;
+  int partitions = 0;
+  uint64_t events = 0;
+  uint64_t deliveries = 0;
+  uint64_t windows = 0;
+  uint64_t barriers = 0;
+  uint64_t wire_messages = 0;
+  double wall_seconds = 0;
+  double events_per_sec = 0;
+  double speedup_vs_serial = 0;
+  std::string serial_reason;
+};
+
+// Fixed per-delivery CPU burn (integer xorshift mix): stands in for the
+// protocol work a real stack does per message. The sink defeats dead-code
+// elimination; the loop is deterministic, so the simulation stays
+// bit-identical across cores values.
+uint64_t Churn(uint64_t seed, int iters) {
+  uint64_t x = seed | 1;
+  for (int i = 0; i < iters; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+  }
+  return x;
+}
+
+PsimRow RunOnce(int hosts, int cores, int rounds, int work_iters) {
+  using namespace prism;
+  PsimRow row;
+  row.hosts = hosts;
+  row.cores = cores;
+
+  sim::ClusterSim cluster(cores);
+  net::Fabric fabric(&cluster, net::CostModel::DataCenterScale());
+  std::vector<net::HostId> ids;
+  ids.reserve(hosts);
+  for (int h = 0; h < hosts; ++h) {
+    ids.push_back(fabric.AddHost("h" + std::to_string(h)));
+  }
+
+  // Pair host 2k with 2k+1: adjacent host ids always land in different
+  // partitions (partition = host % P for every P >= 2), so every flow is
+  // cross-partition traffic through the barrier merge.
+  // Per-dst-host slots: each is only ever touched on its owner's engine
+  // thread, so the bench itself adds no shared mutable state.
+  const int pairs = hosts / 2;
+  std::vector<uint64_t> sinks(static_cast<size_t>(hosts), 0);
+  std::vector<uint64_t> delivered(static_cast<size_t>(hosts), 0);
+  std::function<void(int, int, int)> volley = [&](int pair, int round,
+                                                  int leg) {
+    const net::HostId src = ids[2 * pair + (leg & 1)];
+    const net::HostId dst = ids[2 * pair + 1 - (leg & 1)];
+    fabric.Send(src, dst, /*payload_bytes=*/256, [&, pair, round, leg, dst] {
+      sinks[dst] ^= Churn(static_cast<uint64_t>(pair) * 7919 + leg,
+                          work_iters);
+      ++delivered[dst];
+      if (leg == 0) {
+        volley(pair, round, 1);  // reply leg of this round trip
+      } else if (round + 1 < rounds) {
+        volley(pair, round + 1, 0);
+      }
+    });
+  };
+  for (int p = 0; p < pairs; ++p) volley(p, 0, 0);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  cluster.Run();
+  row.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  for (uint64_t d : delivered) row.deliveries += d;
+  row.events = cluster.executed_events();
+  row.windows = cluster.stats().windows;
+  row.barriers = cluster.stats().barriers;
+  row.partitions = cluster.stats().partitions;
+  row.wire_messages = cluster.stats().wire_messages;
+  row.events_per_sec =
+      row.wall_seconds > 0 ? static_cast<double>(row.events) / row.wall_seconds
+                           : 0;
+  row.serial_reason = cluster.serial_reason();
+  PRISM_CHECK_EQ(row.deliveries,
+                 static_cast<uint64_t>(pairs) * rounds * 2)
+      << "flows did not run to completion";
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace prism;
+
+  const bool fast = std::getenv("PRISM_BENCH_FAST") != nullptr;
+  int hosts = fast ? 8 : 120;
+  int rounds = fast ? 8 : 200;
+  int work_iters = fast ? 64 : 50000;
+  std::vector<int> cores_grid = fast ? std::vector<int>{1, 2}
+                                     : std::vector<int>{1, 2, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--hosts=", 0) == 0) hosts = std::atoi(arg.c_str() + 8);
+    if (arg.rfind("--rounds=", 0) == 0) rounds = std::atoi(arg.c_str() + 9);
+    if (arg.rfind("--work=", 0) == 0) work_iters = std::atoi(arg.c_str() + 7);
+  }
+  // --cores=N / PRISM_CORES (the standard resolution chain) pins the grid
+  // to {1, N}: the serial baseline plus the requested worker count.
+  if (const int cores = harness::CoresFromArgs(argc, argv); cores > 1) {
+    cores_grid = {1, cores};
+  }
+  PRISM_CHECK_GT(hosts, 1);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("== Ablation: windowed parallel DES scaling (%d hosts, "
+              "%d rounds, %d work iters, %u hw threads)%s ==\n",
+              hosts, rounds, work_iters, hw, fast ? " [fast]" : "");
+  if (hw < static_cast<unsigned>(cores_grid.back())) {
+    std::printf("NOTE: only %u hardware thread(s) — partitions timeshare, "
+                "so speedup_vs_serial measures window overhead, not "
+                "scaling\n", hw);
+  }
+  std::printf("%6s %10s %12s %14s %10s %10s %10s\n", "cores", "wall-s",
+              "events", "events/sec", "windows", "wire-msgs", "speedup");
+
+  std::vector<PsimRow> rows;
+  for (int cores : cores_grid) {
+    PsimRow row = RunOnce(hosts, cores, rounds, work_iters);
+    if (!rows.empty()) {
+      // Same workload, same schedule: the scaling numbers compare equal
+      // work or they compare nothing.
+      PRISM_CHECK_EQ(row.events, rows.front().events)
+          << "cores=" << cores << " executed a different schedule";
+      row.speedup_vs_serial =
+          row.wall_seconds > 0 ? rows.front().wall_seconds / row.wall_seconds
+                               : 0;
+    } else {
+      row.speedup_vs_serial = 1.0;
+    }
+    std::printf("%6d %10.3f %12llu %14.3e %10llu %10llu %9.2fx\n", row.cores,
+                row.wall_seconds, static_cast<unsigned long long>(row.events),
+                row.events_per_sec,
+                static_cast<unsigned long long>(row.windows),
+                static_cast<unsigned long long>(row.wire_messages),
+                row.speedup_vs_serial);
+    rows.push_back(std::move(row));
+  }
+
+  bench::JsonWriter json;
+  json.BeginObject();
+  json.Field("bench", "abl_psim");
+  json.Field("fast_mode", fast);
+  // Speedup is only meaningful relative to the machine: on a box with
+  // fewer hardware threads than `cores`, the partitions timeshare and the
+  // row measures pure window/barrier overhead instead of scaling.
+  json.Field("hw_threads",
+             static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  json.Field("hosts", rows.front().hosts);
+  json.Field("rounds", static_cast<int64_t>(rounds));
+  json.Field("work_iters", static_cast<int64_t>(work_iters));
+  json.Field("cost_model", "DataCenterScale");
+  json.BeginArray("rows");
+  for (const PsimRow& r : rows) {
+    json.BeginObject();
+    json.Field("hosts", r.hosts);
+    json.Field("cores", r.cores);
+    json.Field("partitions", r.partitions);
+    json.Field("events", r.events);
+    json.Field("deliveries", r.deliveries);
+    json.Field("windows", r.windows);
+    json.Field("barriers", r.barriers);
+    json.Field("wire_messages", r.wire_messages);
+    json.Field("wall_seconds", r.wall_seconds);
+    json.Field("events_per_sec", r.events_per_sec);
+    json.Field("speedup_vs_serial", r.speedup_vs_serial);
+    json.Field("serial_reason", r.serial_reason);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  if (!json.WriteFile("results/BENCH_psim.json")) {
+    std::fprintf(stderr, "abl_psim: failed to write results/BENCH_psim.json\n");
+    return 1;
+  }
+  std::printf("wrote results/BENCH_psim.json\n");
+  return 0;
+}

@@ -83,6 +83,9 @@ ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
 echo "==> tsan: one-sided synchronization suite under TSan (label: sync)"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L sync
 
+echo "==> tsan: windowed parallel DES bit-identity suite under TSan (label: psim)"
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L psim
+
 echo "==> coverage: gcov line-coverage floor on src/check/ + src/explore/ + src/sync/"
 scripts/coverage.sh --jobs "$JOBS"
 

@@ -140,6 +140,7 @@ class PilafClient {
 
  private:
   net::Fabric* fabric_;
+  net::HostId self_;
   PilafServer* server_;
   rdma::RdmaClient rdma_;
   rpc::RpcClient rpc_;

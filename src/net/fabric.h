@@ -13,6 +13,20 @@
 // so an uncontended message pays ser(b) exactly once end-to-end, while a
 // contended ingress (many clients hammering one server) or egress (one server
 // answering many clients) serializes at link bandwidth.
+//
+// Engines: a fabric is backed either by one serial sim::Simulator (the
+// historical mode — every code path below is unchanged) or by a
+// sim::ClusterSim that shards hosts across per-host engines on worker
+// threads (DESIGN.md §5.8). Host-bound components ask for their engine with
+// sim(host); in serial mode that is always the single shared simulator. In
+// parallel mode cross-host sends resolve egress timing on the source's
+// thread, travel as stamped sim::WireMsg records, and resolve ingress
+// timing on the destination's thread at the next window barrier — in the
+// canonical (send_when, src_host, send_seq) order, which is the serial
+// global send order for all cross-window traffic. Fault injection, wire
+// loss, tracing and exploration hooks all need the global serial order, so
+// requesting any of them downgrades the cluster to its serial fallback
+// before hosts are added.
 #ifndef PRISM_SRC_NET_FABRIC_H_
 #define PRISM_SRC_NET_FABRIC_H_
 
@@ -28,6 +42,7 @@
 #include "src/common/rng.h"
 #include "src/net/cost_model.h"
 #include "src/obs/obs.h"
+#include "src/sim/psim.h"
 #include "src/sim/simulator.h"
 #include "src/sim/sync.h"
 
@@ -45,7 +60,53 @@ class Fabric {
         [this](obs::MetricsSnapshot& out) { CollectMetrics(out); });
   }
 
-  sim::Simulator* simulator() const { return sim_; }
+  // Cluster-backed fabric (intra-simulation parallelism). Degenerate cost
+  // models and wire loss cannot run conservatively parallel, so they
+  // downgrade the cluster here — before any host engine is handed out.
+  Fabric(sim::ClusterSim* cluster, CostModel model, uint64_t loss_seed = 0x10552)
+      : sim_(cluster->engine(0)),
+        model_(model),
+        loss_rng_(loss_seed),
+        cluster_(cluster) {
+    if (cluster_->parallel() && model_.loss_probability > 0.0) {
+      cluster_->DowngradeToSerial(
+          "loss_probability > 0 draws the shared loss RNG in global order");
+    }
+    if (cluster_->parallel()) {
+      cluster_->SetLookahead(model_.MinCrossHostLatency());
+    }
+    if (cluster_->parallel()) {
+      cluster_->SetDeliver(
+          [this](sim::WireMsg&& m) { DeliverWire(std::move(m)); });
+    } else {
+      sim_ = cluster_->engine(0);  // downgraded above: rebind to be safe
+    }
+    obs_.metrics().AddProvider(
+        [this](obs::MetricsSnapshot& out) { CollectMetrics(out); });
+  }
+
+  // The engine owning `host`'s events. Everything bound to one host — its
+  // core pool, coroutines running its protocol code, completion events of
+  // its clients, its RPC/op timeouts — must schedule here.
+  sim::Simulator* sim(HostId host) const {
+    return cluster_ != nullptr ? cluster_->engine(host) : sim_;
+  }
+
+  // The shared serial engine. Only meaningful when the fabric is serial
+  // (single-simulator mode or a downgraded cluster): global-order consumers
+  // (chaos schedules, exploration hooks, drivers) use this, host-bound code
+  // uses sim(host).
+  sim::Simulator* simulator() const {
+    PRISM_CHECK(!parallel())
+        << "Fabric::simulator() is serial-only; use sim(host)";
+    return sim_;
+  }
+
+  // True when this fabric shards hosts across per-host engines on worker
+  // threads (a ClusterSim backing that did not fall back to serial).
+  bool parallel() const { return cluster_ != nullptr && cluster_->parallel(); }
+  sim::ClusterSim* cluster() const { return cluster_; }
+
   const CostModel& cost() const { return model_; }
 
   // Per-simulation observability root (metrics registry, op accounting,
@@ -64,14 +125,19 @@ class Fabric {
   // Fault injection (chaos schedules): changes apply to messages sent after
   // the mutation; frames already on the wire keep the costs they were
   // charged at send time.
-  CostModel& mutable_cost() { return model_; }
+  CostModel& mutable_cost() {
+    PRISM_CHECK(!parallel())
+        << "cost mutation needs the serial engine (global event order)";
+    return model_;
+  }
 
   HostId AddHost(std::string name) {
     HostId id = static_cast<HostId>(hosts_.size());
-    hosts_.push_back(std::make_unique<Host>(Host{
-        .name = std::move(name),
-        .cores = std::make_unique<sim::ServiceQueue>(sim_, model_.server_cores),
-    }));
+    auto host = std::make_unique<Host>();
+    host->name = std::move(name);
+    host->cores =
+        std::make_unique<sim::ServiceQueue>(sim(id), model_.server_cores);
+    hosts_.push_back(std::move(host));
     return id;
   }
 
@@ -87,6 +153,8 @@ class Fabric {
   // the host restarts before their delivery time, so a crashed host never
   // receives traffic addressed to its previous life.
   void SetHostUp(HostId id, bool up) {
+    PRISM_CHECK(!parallel())
+        << "fault injection needs the serial engine (global event order)";
     Host& h = At(id);
     if (h.up && !up) ++h.epoch;
     h.up = up;
@@ -98,6 +166,8 @@ class Fabric {
   // (the transport retransmits until exhaustion, then reports a drop).
   // Asymmetric partitions block one direction only.
   void SetLinkBlocked(HostId src, HostId dst, bool blocked) {
+    PRISM_CHECK(!parallel())
+        << "fault injection needs the serial engine (global event order)";
     const uint64_t key = LinkKey(src, dst);
     if (blocked) {
       blocked_links_.insert(key);
@@ -121,9 +191,19 @@ class Fabric {
   // type-erased PendingSend record is allocated only when a frame is lost
   // and the retransmit machinery needs to re-arm, and from then on the
   // callbacks are moved — never copied — between retransmit hops.
+  //
+  // Parallel mode: loss, partitions and crashes are all serial-only, so a
+  // cross-host send always delivers — it is stamped with the canonical
+  // (send_when, src_host, send_seq) key and posted to the cluster's inbox
+  // lanes; on_dropped is destroyed unfired (exactly the serial outcome).
+  // Loopback never touches another host's state and stays on this engine.
   template <typename Delivery, typename Dropped>
   void Send(HostId src, HostId dst, size_t payload_bytes, Delivery on_delivery,
             Dropped on_dropped) {
+    if (parallel() && src != dst) {
+      SendParallel(src, dst, payload_bytes, std::move(on_delivery));
+      return;
+    }
     if (!TryAttempt(src, dst, payload_bytes, on_delivery, on_dropped,
                     /*attempt=*/0)) {
       auto pending = std::make_unique<PendingSend>(
@@ -169,6 +249,41 @@ class Fabric {
     }
   }
 
+  // Parallel cross-host send: egress timing is final here (this host's own
+  // sends are its only egress contenders, and they execute in time order on
+  // its engine); ingress timing is resolved by DeliverWire on the
+  // destination's thread, in canonical order across all sources.
+  template <typename Delivery>
+  void SendParallel(HostId src, HostId dst, size_t payload_bytes,
+                    Delivery on_delivery) {
+    Host& s = At(src);
+    s.wire.total_messages++;
+    s.wire.total_wire_bytes += model_.WireBytes(payload_bytes);
+    const sim::Duration ser = model_.SerializationDelay(payload_bytes);
+    const sim::TimePoint now = sim(src)->Now();
+    const sim::TimePoint depart = std::max(now, s.egress_free);
+    s.egress_free = depart + ser;
+    sim::WireMsg m;
+    m.send_when = now;
+    m.send_seq = s.send_seq++;
+    m.src_host = src;
+    m.dst_host = dst;
+    m.arrival = depart + ser + model_.propagation;
+    m.ser = ser;
+    m.deliver = std::move(on_delivery);
+    cluster_->PostWire(std::move(m));
+  }
+
+  // Ingress half of a parallel cross-host delivery: called on the
+  // destination's owning worker at a window barrier (or ahead of the first
+  // window for setup-time sends), in (send_when, src_host, send_seq) order.
+  void DeliverWire(sim::WireMsg&& m) {
+    Host& d = At(m.dst_host);
+    const sim::TimePoint ready = std::max(m.arrival, d.ingress_free + m.ser);
+    d.ingress_free = ready;
+    sim(m.dst_host)->ScheduleAt(ready, std::move(m.deliver));
+  }
+
   // Performs one wire attempt. Returns false iff the frame was lost and a
   // retransmission should be armed; every other outcome schedules exactly
   // one of the callbacks (consuming it by move).
@@ -177,13 +292,14 @@ class Fabric {
                   Delivery& on_delivery, Dropped& on_dropped, int attempt) {
     constexpr bool kHasDropped = !std::is_same_v<Dropped, std::nullptr_t>;
     obs::Tracer* const tracer = obs_.tracer();
+    sim::Simulator* const eng = sim(src);
     if (!At(src).up || !At(dst).up) {
       if constexpr (kHasDropped) {
-        if (HasCallback(on_dropped)) sim_->Schedule(0, std::move(on_dropped));
+        if (HasCallback(on_dropped)) eng->Schedule(0, std::move(on_dropped));
       }
-      dropped_messages_++;
+      At(src).wire.dropped_messages++;
       if (tracer != nullptr) {
-        tracer->Instant("net.drop", "net", src, sim_->Now(),
+        tracer->Instant("net.drop", "net", src, eng->Now(),
                         obs_.current_span());
       }
       return true;
@@ -192,60 +308,60 @@ class Fabric {
     // transport keeps retransmitting until exhaustion, then reports a drop —
     // exactly the failure signature of a real partition.
     if (IsLinkBlocked(src, dst)) {
-      partitioned_messages_++;
+      At(src).wire.partitioned_messages++;
       if (attempt >= model_.max_retransmits) {
         if constexpr (kHasDropped) {
           if (HasCallback(on_dropped)) {
-            sim_->Schedule(0, std::move(on_dropped));
+            eng->Schedule(0, std::move(on_dropped));
           }
         }
-        dropped_messages_++;
+        At(src).wire.dropped_messages++;
         return true;
       }
-      retransmissions_++;
+      At(src).wire.retransmissions++;
       return false;
     }
-    total_messages_++;
-    total_wire_bytes_ += model_.WireBytes(payload_bytes);
+    At(src).wire.total_messages++;
+    At(src).wire.total_wire_bytes += model_.WireBytes(payload_bytes);
     // Wire loss: the transport retransmits after a timeout (the §4.2
     // NIC machinery). Ops above never observe duplicates — a frame either
     // arrives once or the attempt is repeated.
     if (model_.loss_probability > 0.0 &&
         loss_rng_.NextDouble() < model_.loss_probability) {
-      lost_messages_++;
+      At(src).wire.lost_messages++;
       if (tracer != nullptr) {
-        tracer->Instant("net.loss", "net", src, sim_->Now(),
+        tracer->Instant("net.loss", "net", src, eng->Now(),
                         obs_.current_span());
       }
       if (attempt >= model_.max_retransmits) {
         if constexpr (kHasDropped) {
           if (HasCallback(on_dropped)) {
-            sim_->Schedule(0, std::move(on_dropped));
+            eng->Schedule(0, std::move(on_dropped));
           }
         }
-        dropped_messages_++;
+        At(src).wire.dropped_messages++;
         return true;
       }
-      retransmissions_++;
+      At(src).wire.retransmissions++;
       return false;
     }
     const uint32_t dst_epoch = At(dst).epoch;
     if (src == dst) {
       if (tracer != nullptr) {
-        tracer->EmitComplete("net.flight", "net", src, sim_->Now(),
-                             sim_->Now() + sim::Nanos(200),
+        tracer->EmitComplete("net.flight", "net", src, eng->Now(),
+                             eng->Now() + sim::Nanos(200),
                              obs_.current_span());
       }
-      sim_->Schedule(sim::Nanos(200),
-                     [this, dst, dst_epoch, cb = std::move(on_delivery)]() {
-                       DeliverIfAlive(dst, dst_epoch, cb);
-                     });
+      eng->Schedule(sim::Nanos(200),
+                    [this, dst, dst_epoch, cb = std::move(on_delivery)]() {
+                      DeliverIfAlive(dst, dst_epoch, cb);
+                    });
       return true;
     }
     const sim::Duration ser = model_.SerializationDelay(payload_bytes);
     Host& s = At(src);
     Host& d = At(dst);
-    const sim::TimePoint now = sim_->Now();
+    const sim::TimePoint now = eng->Now();
     const sim::TimePoint depart = std::max(now, s.egress_free);
     s.egress_free = depart + ser;
     const sim::TimePoint arrival = depart + ser + model_.propagation;
@@ -259,10 +375,10 @@ class Fabric {
       tracer->EmitComplete("net.flight", "net", src, now, ready,
                            obs_.current_span());
     }
-    sim_->ScheduleAt(ready,
-                     [this, dst, dst_epoch, cb = std::move(on_delivery)]() {
-                       DeliverIfAlive(dst, dst_epoch, cb);
-                     });
+    eng->ScheduleAt(ready,
+                    [this, dst, dst_epoch, cb = std::move(on_delivery)]() {
+                      DeliverIfAlive(dst, dst_epoch, cb);
+                    });
     return true;
   }
 
@@ -276,13 +392,16 @@ class Fabric {
     if (d.up && d.epoch == dst_epoch) {
       cb();
     } else {
-      purged_messages_++;
+      At(dst).wire.purged_messages++;
     }
   }
 
   void ScheduleRetransmit(std::unique_ptr<PendingSend> pending) {
-    sim_->Schedule(model_.retransmit_timeout,
-                   [this, p = std::move(pending)]() mutable { Retry(std::move(p)); });
+    sim(pending->src)
+        ->Schedule(model_.retransmit_timeout,
+                   [this, p = std::move(pending)]() mutable {
+                     Retry(std::move(p));
+                   });
   }
 
   void Retry(std::unique_ptr<PendingSend> p) {
@@ -294,9 +413,9 @@ class Fabric {
     // destination crashed since the send was issued (even if it has since
     // restarted), the chain stops and the drop verdict fires.
     if (At(p->dst).epoch != p->dst_epoch) {
-      purged_messages_++;
-      dropped_messages_++;
-      if (p->on_dropped) sim_->Schedule(0, std::move(p->on_dropped));
+      At(p->dst).wire.purged_messages++;
+      At(p->src).wire.dropped_messages++;
+      if (p->on_dropped) sim(p->src)->Schedule(0, std::move(p->on_dropped));
       return;
     }
     ++p->attempt;
@@ -309,24 +428,43 @@ class Fabric {
  public:
 
   // ---- instrumentation ----
-  uint64_t total_messages() const { return total_messages_; }
-  uint64_t dropped_messages() const { return dropped_messages_; }
-  uint64_t lost_messages() const { return lost_messages_; }
-  uint64_t retransmissions() const { return retransmissions_; }
-  uint64_t total_wire_bytes() const { return total_wire_bytes_; }
-  uint64_t purged_messages() const { return purged_messages_; }
-  uint64_t partitioned_messages() const { return partitioned_messages_; }
+  //
+  // Wire counters live per host so the parallel mode's send (source thread)
+  // and purge (destination thread) accounting never share a cache line with
+  // another worker; the getters report the cluster-wide sums the serial
+  // fabric always reported.
+  uint64_t total_messages() const { return SumWire(&WireStats::total_messages); }
+  uint64_t dropped_messages() const {
+    return SumWire(&WireStats::dropped_messages);
+  }
+  uint64_t lost_messages() const { return SumWire(&WireStats::lost_messages); }
+  uint64_t retransmissions() const {
+    return SumWire(&WireStats::retransmissions);
+  }
+  uint64_t total_wire_bytes() const {
+    return SumWire(&WireStats::total_wire_bytes);
+  }
+  uint64_t purged_messages() const {
+    return SumWire(&WireStats::purged_messages);
+  }
+  uint64_t partitioned_messages() const {
+    return SumWire(&WireStats::partitioned_messages);
+  }
   void ResetStats() {
-    total_messages_ = 0;
-    dropped_messages_ = 0;
-    lost_messages_ = 0;
-    retransmissions_ = 0;
-    total_wire_bytes_ = 0;
-    purged_messages_ = 0;
-    partitioned_messages_ = 0;
+    for (const auto& h : hosts_) h->wire = WireStats{};
   }
 
  private:
+  struct WireStats {
+    uint64_t total_messages = 0;
+    uint64_t dropped_messages = 0;
+    uint64_t lost_messages = 0;
+    uint64_t retransmissions = 0;
+    uint64_t total_wire_bytes = 0;
+    uint64_t purged_messages = 0;
+    uint64_t partitioned_messages = 0;
+  };
+
   struct Host {
     std::string name;
     std::unique_ptr<sim::ServiceQueue> cores;
@@ -334,6 +472,8 @@ class Fabric {
     sim::TimePoint ingress_free = 0;
     bool up = true;
     uint32_t epoch = 0;  // bumped on crash; identifies the incarnation
+    uint64_t send_seq = 0;  // parallel mode: canonical per-source send count
+    WireStats wire;
   };
 
   Host& At(HostId id) {
@@ -345,23 +485,44 @@ class Fabric {
     return *hosts_[id];
   }
 
+  uint64_t SumWire(uint64_t WireStats::*field) const {
+    uint64_t total = 0;
+    for (const auto& h : hosts_) total += h->wire.*field;
+    return total;
+  }
+
   // Snapshot provider: fabric wire counters, per-host core-pool usage, and
   // the engine's own event statistics (the hub is the one registry every
   // layer can reach, so the simulator reports through it as well).
+  //
+  // Parallel mode reports the summed executed-event count (identical to the
+  // serial count for the same schedule) plus the window/barrier counters,
+  // but not the per-engine lane classification: zero-delay/timer/overflow
+  // routing depends on each engine's private wheel horizon, which is a
+  // per-host implementation detail rather than a schedule observable.
   void CollectMetrics(obs::MetricsSnapshot& out) const {
-    out.AddCounterValue("net", "total_messages", "", total_messages_);
-    out.AddCounterValue("net", "dropped_messages", "", dropped_messages_);
-    out.AddCounterValue("net", "lost_messages", "", lost_messages_);
-    out.AddCounterValue("net", "retransmissions", "", retransmissions_);
-    out.AddCounterValue("net", "total_wire_bytes", "", total_wire_bytes_);
-    out.AddCounterValue("net", "purged_messages", "", purged_messages_);
+    out.AddCounterValue("net", "total_messages", "", total_messages());
+    out.AddCounterValue("net", "dropped_messages", "", dropped_messages());
+    out.AddCounterValue("net", "lost_messages", "", lost_messages());
+    out.AddCounterValue("net", "retransmissions", "", retransmissions());
+    out.AddCounterValue("net", "total_wire_bytes", "", total_wire_bytes());
+    out.AddCounterValue("net", "purged_messages", "", purged_messages());
     out.AddCounterValue("net", "partitioned_messages", "",
-                        partitioned_messages_);
+                        partitioned_messages());
     for (const auto& h : hosts_) {
       out.AddCounterValue("net", "core_busy_ns", h->name,
                           static_cast<uint64_t>(h->cores->total_busy()));
       out.AddGaugeValue("net", "core_queue_depth", h->name,
                         static_cast<int64_t>(h->cores->queue_length()));
+    }
+    if (parallel()) {
+      out.AddCounterValue("sim", "executed_events", "",
+                          cluster_->executed_events());
+      const sim::ClusterSim::Stats& ps = cluster_->stats();
+      out.AddCounterValue("psim", "windows", "", ps.windows);
+      out.AddCounterValue("psim", "barriers", "", ps.barriers);
+      out.AddCounterValue("psim", "wire_messages", "", ps.wire_messages);
+      return;
     }
     const sim::Simulator::Stats& st = sim_->stats();
     out.AddCounterValue("sim", "executed_events", "", sim_->executed_events());
@@ -376,15 +537,9 @@ class Fabric {
   CostModel model_;
   Rng loss_rng_;
   obs::Hub obs_;
+  sim::ClusterSim* cluster_ = nullptr;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::unordered_set<uint64_t> blocked_links_;  // directed src→dst pairs
-  uint64_t total_messages_ = 0;
-  uint64_t dropped_messages_ = 0;
-  uint64_t lost_messages_ = 0;
-  uint64_t retransmissions_ = 0;
-  uint64_t total_wire_bytes_ = 0;
-  uint64_t purged_messages_ = 0;
-  uint64_t partitioned_messages_ = 0;
 };
 
 }  // namespace prism::net

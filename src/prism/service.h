@@ -66,8 +66,8 @@ class PrismServer {
         deployment_(deployment),
         mem_(mem),
         executor_(mem, &freelists_),
-        nic_pipeline_(fabric->simulator(), fabric->cost().nic_pipeline_units),
-        bf_cores_(fabric->simulator(), fabric->cost().bf_cores) {
+        nic_pipeline_(fabric->sim(host), fabric->cost().nic_pipeline_units),
+        bf_cores_(fabric->sim(host), fabric->cost().bf_cores) {
     obs::MetricsRegistry& m = fabric->obs().metrics();
     const std::string& hn = fabric->HostName(host);
     chains_metric_ = m.AddCounter("prism", "chains_executed", hn);
@@ -169,36 +169,36 @@ class PrismServer {
     // Entered synchronously from the request-delivery event; the register
     // still holds the issuing client's prism.execute span.
     const obs::SpanId span = fabric_->obs().StartSpan(
-        "prism.chain", "prism", host_, fabric_->simulator()->Now());
+        "prism.chain", "prism", host_, fabric_->sim(host_)->Now());
     const net::CostModel& c = fabric_->cost();
     ++in_flight_;
     const uint64_t chain_id = next_chain_id_++;
     active_chains_.insert(chain_id);
     switch (deployment_) {
       case Deployment::kSoftware: {
-        co_await sim::SleepFor(fabric_->simulator(),
+        co_await sim::SleepFor(fabric_->sim(host_),
                                c.sw_ring_dma + c.sw_queue_delay);
         co_await fabric_->Cores(host_).Acquire();
-        co_await sim::SleepFor(fabric_->simulator(), c.sw_dispatch);
+        co_await sim::SleepFor(fabric_->sim(host_), c.sw_dispatch);
         co_await ExecuteOps(chain, results);
         fabric_->Cores(host_).Release();
-        co_await sim::SleepFor(fabric_->simulator(), c.sw_tx);
+        co_await sim::SleepFor(fabric_->sim(host_), c.sw_tx);
         break;
       }
       case Deployment::kHardwareProjected: {
         co_await nic_pipeline_.Acquire();
-        co_await sim::SleepFor(fabric_->simulator(), c.nic_process);
+        co_await sim::SleepFor(fabric_->sim(host_), c.nic_process);
         co_await ExecuteOps(chain, results);
         nic_pipeline_.Release();
         break;
       }
       case Deployment::kBlueField: {
-        co_await sim::SleepFor(fabric_->simulator(), c.sw_ring_dma);
+        co_await sim::SleepFor(fabric_->sim(host_), c.sw_ring_dma);
         co_await bf_cores_.Acquire();
-        co_await sim::SleepFor(fabric_->simulator(), c.bf_dispatch);
+        co_await sim::SleepFor(fabric_->sim(host_), c.bf_dispatch);
         co_await ExecuteOps(chain, results);
         bf_cores_.Release();
-        co_await sim::SleepFor(fabric_->simulator(), c.sw_tx);
+        co_await sim::SleepFor(fabric_->sim(host_), c.sw_tx);
         break;
       }
     }
@@ -207,7 +207,7 @@ class PrismServer {
     --in_flight_;
     active_chains_.erase(chain_id);
     FlushPendingPosts();
-    fabric_->obs().FinishSpan(span, fabric_->simulator()->Now());
+    fabric_->obs().FinishSpan(span, fabric_->sim(host_)->Now());
   }
 
   sim::Task<void> ExecuteOps(std::shared_ptr<const Chain> chain,
@@ -216,7 +216,7 @@ class PrismServer {
     for (const Op& op : *chain) {
       // Charge the op's cost first, then apply its effect in this event —
       // concurrent chains interleave between ops, never inside one.
-      co_await sim::SleepFor(fabric_->simulator(), OpCost(op));
+      co_await sim::SleepFor(fabric_->sim(host_), OpCost(op));
       results->push_back(executor_.ExecuteOne(op, ctx));
       ops_executed_++;
       ops_metric_->Add();
@@ -291,16 +291,16 @@ class PrismClient {
   void set_batcher(rdma::VerbBatcher* b) { batcher_ = b; }
 
   sim::Task<Result<ChainResult>> Execute(PrismServer* server, Chain chain) {
-    auto state = std::make_shared<OpState>(fabric_->simulator(),
+    auto state = std::make_shared<OpState>(fabric_->sim(self_),
                                            TimedOut("prism chain"));
     state->span = fabric_->obs().StartSpan("prism.execute", "prism", self_,
-                                           fabric_->simulator()->Now());
+                                           fabric_->sim(self_)->Now());
     auto chain_ptr = std::make_shared<const Chain>(std::move(chain));
     if (batcher_ != nullptr) {
       co_await batcher_->Post(&tally_);
     } else {
       tally_.doorbells++;
-      co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().client_post);
+      co_await sim::SleepFor(fabric_->sim(self_), fabric_->cost().client_post);
     }
     const size_t req_payload = EncodedChainSize(*chain_ptr);
     tally_.messages++;
@@ -332,7 +332,7 @@ class PrismClient {
           });
         },
         [state] { state->Finish(Unavailable("host down")); });
-    fabric_->simulator()->Schedule(kOpTimeout, [state] {
+    fabric_->sim(self_)->Schedule(kOpTimeout, [state] {
       state->Finish(TimedOut("chain deadline"));
     });
     co_await state->done.Wait();
@@ -340,13 +340,13 @@ class PrismClient {
       co_await batcher_->Complete(&tally_);
     } else {
       tally_.cq_polls++;
-      co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().completion);
+      co_await sim::SleepFor(fabric_->sim(self_), fabric_->cost().completion);
     }
     if (state->responded) {
       tally_.round_trips++;
       tally_.bytes_in += state->resp_bytes;
     }
-    fabric_->obs().FinishSpan(state->span, fabric_->simulator()->Now());
+    fabric_->obs().FinishSpan(state->span, fabric_->sim(self_)->Now());
     co_return std::move(state->result);
   }
 

@@ -48,7 +48,7 @@ class RdmaService {
         host_(host),
         backend_(backend),
         mem_(mem),
-        nic_pipeline_(fabric->simulator(), fabric->cost().nic_pipeline_units),
+        nic_pipeline_(fabric->sim(host), fabric->cost().nic_pipeline_units),
         ops_metric_(fabric->obs().metrics().AddCounter(
             "rdma", "server_ops", fabric->HostName(host))) {}
 
@@ -64,20 +64,20 @@ class RdmaService {
     // Entered synchronously from the request-delivery event; the register
     // still holds the issuing client's verb span.
     const obs::SpanId span = fabric_->obs().StartSpan(
-        "rdma.server", "rdma", host_, fabric_->simulator()->Now());
+        "rdma.server", "rdma", host_, fabric_->sim(host_)->Now());
     const net::CostModel& c = fabric_->cost();
     if (backend_ == Backend::kHardwareNic) {
       co_await nic_pipeline_.Use(c.nic_process);
-      co_await sim::SleepFor(fabric_->simulator(), memory_cost);
+      co_await sim::SleepFor(fabric_->sim(host_), memory_cost);
     } else {
-      co_await sim::SleepFor(fabric_->simulator(),
+      co_await sim::SleepFor(fabric_->sim(host_),
                              c.sw_ring_dma + c.sw_queue_delay);
       co_await fabric_->Cores(host_).Use(c.sw_dispatch + c.sw_primitive);
-      co_await sim::SleepFor(fabric_->simulator(), c.sw_tx);
+      co_await sim::SleepFor(fabric_->sim(host_), c.sw_tx);
     }
     ops_executed_++;
     ops_metric_->Add();
-    fabric_->obs().FinishSpan(span, fabric_->simulator()->Now());
+    fabric_->obs().FinishSpan(span, fabric_->sim(host_)->Now());
   }
 
   // ---- Same-QP ordering around atomics ---------------------------------
@@ -105,7 +105,7 @@ class RdmaService {
     AtomicTicket t;
     std::shared_ptr<sim::Event>& tail = atomic_tail_[src];
     t.prev = tail;
-    t.mine = std::make_shared<sim::Event>(fabric_->simulator());
+    t.mine = std::make_shared<sim::Event>(fabric_->sim(host_));
     tail = t.mine;
     return t;
   }
@@ -151,10 +151,10 @@ class RdmaClient {
 
   sim::Task<Result<Bytes>> Read(RdmaService* svc, RKey rkey, Addr addr,
                                 uint64_t len) {
-    auto state = std::make_shared<OpState<Bytes>>(fabric_->simulator(),
+    auto state = std::make_shared<OpState<Bytes>>(fabric_->sim(self_),
                                                   TimedOut("rdma read"));
     state->span = fabric_->obs().StartSpan("rdma.read", "rdma", self_,
-                                           fabric_->simulator()->Now());
+                                           fabric_->sim(self_)->Now());
     co_await PostGate();
     PreSend(svc, state, 16);
     fabric_->Send(
@@ -176,10 +176,10 @@ class RdmaClient {
   }
 
   sim::Task<Status> Write(RdmaService* svc, RKey rkey, Addr addr, Bytes data) {
-    auto state = std::make_shared<OpState<Bytes>>(fabric_->simulator(),
+    auto state = std::make_shared<OpState<Bytes>>(fabric_->sim(self_),
                                                   TimedOut("rdma write"));
     state->span = fabric_->obs().StartSpan("rdma.write", "rdma", self_,
-                                           fabric_->simulator()->Now());
+                                           fabric_->sim(self_)->Now());
     co_await PostGate();
     const size_t req_payload = 16 + data.size();
     auto payload = std::make_shared<Bytes>(std::move(data));
@@ -210,10 +210,10 @@ class RdmaClient {
   sim::Task<Result<uint64_t>> CompareSwap(RdmaService* svc, RKey rkey,
                                           Addr addr, uint64_t compare,
                                           uint64_t swap) {
-    auto state = std::make_shared<OpState<uint64_t>>(fabric_->simulator(),
+    auto state = std::make_shared<OpState<uint64_t>>(fabric_->sim(self_),
                                                      TimedOut("rdma cas"));
     state->span = fabric_->obs().StartSpan("rdma.cas", "rdma", self_,
-                                           fabric_->simulator()->Now());
+                                           fabric_->sim(self_)->Now());
     co_await PostGate();
     PreSend(svc, state, 32);
     fabric_->Send(
@@ -240,10 +240,10 @@ class RdmaClient {
 
   sim::Task<Result<uint64_t>> FetchAdd(RdmaService* svc, RKey rkey, Addr addr,
                                        uint64_t delta) {
-    auto state = std::make_shared<OpState<uint64_t>>(fabric_->simulator(),
+    auto state = std::make_shared<OpState<uint64_t>>(fabric_->sim(self_),
                                                      TimedOut("rdma faa"));
     state->span = fabric_->obs().StartSpan("rdma.faa", "rdma", self_,
-                                           fabric_->simulator()->Now());
+                                           fabric_->sim(self_)->Now());
     co_await PostGate();
     PreSend(svc, state, 24);
     fabric_->Send(
@@ -274,9 +274,9 @@ class RdmaClient {
       RdmaService* svc, RKey rkey, Addr addr, Bytes data, Bytes cmp_mask,
       Bytes swap_mask, CasCompare mode = CasCompare::kEqual) {
     auto state = std::make_shared<OpState<CasOutcome>>(
-        fabric_->simulator(), TimedOut("rdma masked cas"));
+        fabric_->sim(self_), TimedOut("rdma masked cas"));
     state->span = fabric_->obs().StartSpan("rdma.masked_cas", "rdma", self_,
-                                           fabric_->simulator()->Now());
+                                           fabric_->sim(self_)->Now());
     co_await PostGate();
     const size_t req_payload = 16 + 3 * data.size();
     const size_t width = data.size();
@@ -337,7 +337,7 @@ class RdmaClient {
       co_await batcher_->Post(&tally_);
     } else {
       tally_.doorbells++;
-      co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().client_post);
+      co_await sim::SleepFor(fabric_->sim(self_), fabric_->cost().client_post);
     }
   }
 
@@ -348,7 +348,7 @@ class RdmaClient {
       co_await batcher_->Complete(&tally_);
     } else {
       tally_.cq_polls++;
-      co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().completion);
+      co_await sim::SleepFor(fabric_->sim(self_), fabric_->cost().completion);
     }
   }
 
@@ -380,7 +380,7 @@ class RdmaClient {
   template <typename T>
   sim::Task<Result<T>> Complete(std::shared_ptr<OpState<T>> state) {
     // Timeout guard: fires only if neither response nor drop arrived.
-    fabric_->simulator()->Schedule(kOpTimeout, [state] {
+    fabric_->sim(self_)->Schedule(kOpTimeout, [state] {
       state->Finish(TimedOut("op deadline"));
     });
     co_await state->done.Wait();
@@ -389,7 +389,7 @@ class RdmaClient {
       tally_.round_trips++;
       tally_.bytes_in += state->resp_bytes;
     }
-    fabric_->obs().FinishSpan(state->span, fabric_->simulator()->Now());
+    fabric_->obs().FinishSpan(state->span, fabric_->sim(self_)->Now());
     co_return std::move(state->result);
   }
 

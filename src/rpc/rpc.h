@@ -100,12 +100,12 @@ class RpcServer {
     // Entered synchronously from the request-delivery event, so the hub's
     // current-span register still holds the caller's rpc.call span.
     const obs::SpanId span = fabric_->obs().StartSpan(
-        "rpc.serve", "rpc", host_, fabric_->simulator()->Now());
+        "rpc.serve", "rpc", host_, fabric_->sim(host_)->Now());
     const net::CostModel& c = fabric_->cost();
-    co_await sim::SleepFor(fabric_->simulator(), c.sw_ring_dma);
+    co_await sim::SleepFor(fabric_->sim(host_), c.sw_ring_dma);
     sim::ServiceQueue& cores = fabric_->Cores(host_);
     co_await cores.Acquire();
-    co_await sim::SleepFor(fabric_->simulator(),
+    co_await sim::SleepFor(fabric_->sim(host_),
                            c.rpc_dispatch + c.rpc_handler);
     auto it = handlers_.find(method);
     MessagePtr response;
@@ -115,10 +115,10 @@ class RpcServer {
       response = Message::Empty();
     }
     cores.Release();
-    co_await sim::SleepFor(fabric_->simulator(), c.sw_tx);
+    co_await sim::SleepFor(fabric_->sim(host_), c.sw_tx);
     calls_served_++;
     served_metric_->Add();
-    fabric_->obs().FinishSpan(span, fabric_->simulator()->Now());
+    fabric_->obs().FinishSpan(span, fabric_->sim(host_)->Now());
     co_return response;
   }
 
@@ -148,14 +148,14 @@ class RpcClient {
 
   sim::Task<Result<MessagePtr>> Call(RpcServer* server, MethodId method,
                                      MessagePtr request_ptr) {
-    auto state = std::make_shared<CallState>(fabric_->simulator());
+    auto state = std::make_shared<CallState>(fabric_->sim(self_));
     state->span = fabric_->obs().StartSpan("rpc.call", "rpc", self_,
-                                           fabric_->simulator()->Now());
+                                           fabric_->sim(self_)->Now());
     if (batcher_ != nullptr) {
       co_await batcher_->Post(&tally_);
     } else {
       tally_.doorbells++;
-      co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().client_post);
+      co_await sim::SleepFor(fabric_->sim(self_), fabric_->cost().client_post);
     }
     const size_t req_wire = request_ptr->wire_bytes();
     tally_.messages++;
@@ -182,7 +182,7 @@ class RpcClient {
           });
         },
         [state] { state->Finish(Unavailable("host down")); });
-    fabric_->simulator()->Schedule(kRpcTimeout, [state] {
+    fabric_->sim(self_)->Schedule(kRpcTimeout, [state] {
       state->Finish(TimedOut("rpc deadline"));
     });
     co_await state->done.Wait();
@@ -190,13 +190,13 @@ class RpcClient {
       co_await batcher_->Complete(&tally_);
     } else {
       tally_.cq_polls++;
-      co_await sim::SleepFor(fabric_->simulator(), fabric_->cost().completion);
+      co_await sim::SleepFor(fabric_->sim(self_), fabric_->cost().completion);
     }
     if (state->responded) {
       tally_.round_trips++;
       tally_.bytes_in += state->resp_bytes;
     }
-    fabric_->obs().FinishSpan(state->span, fabric_->simulator()->Now());
+    fabric_->obs().FinishSpan(state->span, fabric_->sim(self_)->Now());
     if (!state->error.ok()) co_return state->error;
     co_return std::move(state->response);
   }

@@ -31,6 +31,7 @@ AbdLockClient::AbdLockClient(net::Fabric* fabric, net::HostId self,
                              AbdLockCluster* cluster, uint16_t client_id,
                              uint64_t rng_seed)
     : fabric_(fabric),
+      self_(self),
       cluster_(cluster),
       rdma_(fabric, self),
       client_id_(client_id),
@@ -45,7 +46,7 @@ sim::Task<Status> AbdLockClient::AcquireLocks(uint64_t block,
     // waits for ALL responses (they are parallel, so latency is one round
     // trip): proceeding on the first f+1 would leak locks that complete
     // late, wedging the block for everyone else.
-    auto all = std::make_shared<sim::Quorum>(fabric_->simulator(),
+    auto all = std::make_shared<sim::Quorum>(fabric_->sim(self_),
                                              cluster_->n(), cluster_->n());
     auto won = std::make_shared<std::vector<bool>>(
         static_cast<size_t>(cluster_->n()), false);
@@ -77,7 +78,7 @@ sim::Task<Status> AbdLockClient::AcquireLocks(uint64_t block,
         opts.backoff_base << std::min(attempt, 7));
     backoff += static_cast<sim::Duration>(
         rng_.NextBelow(static_cast<uint64_t>(backoff) / 2 + 1));
-    co_await sim::SleepFor(fabric_->simulator(), backoff);
+    co_await sim::SleepFor(fabric_->sim(self_), backoff);
   }
   co_return Aborted("could not acquire majority of locks");
 }
@@ -87,7 +88,7 @@ sim::Task<void> AbdLockClient::ReleaseLocks(uint64_t block,
   int pending = 0;
   for (bool b : locked) pending += b ? 1 : 0;
   if (pending == 0) co_return;
-  auto quorum = std::make_shared<sim::Quorum>(fabric_->simulator(), pending,
+  auto quorum = std::make_shared<sim::Quorum>(fabric_->sim(self_), pending,
                                               pending);
   for (int i = 0; i < cluster_->n(); ++i) {
     if (!locked[static_cast<size_t>(i)]) continue;
@@ -108,7 +109,7 @@ sim::Task<Result<std::pair<Tag, Bytes>>> AbdLockClient::ReadLocked(
   const uint64_t read_len = 8 + cluster_->options().block_size;
   int holders = 0;
   for (bool b : locked) holders += b ? 1 : 0;
-  auto quorum = std::make_shared<sim::Quorum>(fabric_->simulator(),
+  auto quorum = std::make_shared<sim::Quorum>(fabric_->sim(self_),
                                               cluster_->quorum(), holders);
   struct Shared {
     Tag max_tag;
@@ -152,7 +153,7 @@ sim::Task<Status> AbdLockClient::WriteLocked(
     std::shared_ptr<const Bytes> value) {
   int holders = 0;
   for (bool b : locked) holders += b ? 1 : 0;
-  auto quorum = std::make_shared<sim::Quorum>(fabric_->simulator(),
+  auto quorum = std::make_shared<sim::Quorum>(fabric_->sim(self_),
                                               cluster_->quorum(), holders);
   auto payload = std::make_shared<Bytes>();
   Bytes tag_bytes = BytesOfU64(tag.Packed());

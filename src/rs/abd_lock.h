@@ -104,6 +104,7 @@ class AbdLockClient {
                                 std::shared_ptr<const Bytes> value);
 
   net::Fabric* fabric_;
+  net::HostId self_;
   AbdLockCluster* cluster_;
   rdma::RdmaClient rdma_;
   uint16_t client_id_;

@@ -65,6 +65,7 @@ PrismRsCluster::PrismRsCluster(net::Fabric* fabric, int n_replicas,
 PrismRsClient::PrismRsClient(net::Fabric* fabric, net::HostId self,
                              PrismRsCluster* cluster, uint16_t client_id)
     : fabric_(fabric),
+      self_(self),
       cluster_(cluster),
       prism_(fabric, self),
       client_id_(client_id) {
@@ -89,7 +90,7 @@ sim::Task<PrismRsClient::ReadPhaseResult> PrismRsClient::ReadPhase(
     uint64_t block) {
   const bool variable = cluster_->options().variable_block_size;
   const uint64_t read_len = 8 + cluster_->options().block_size;
-  auto quorum = std::make_shared<sim::Quorum>(fabric_->simulator(),
+  auto quorum = std::make_shared<sim::Quorum>(fabric_->sim(self_),
                                               cluster_->quorum(),
                                               cluster_->n());
   struct Shared {
@@ -154,7 +155,7 @@ sim::Task<Status> PrismRsClient::WritePhase(
   } else {
     PRISM_CHECK_EQ(value->size(), cluster_->options().block_size);
   }
-  auto quorum = std::make_shared<sim::Quorum>(fabric_->simulator(),
+  auto quorum = std::make_shared<sim::Quorum>(fabric_->sim(self_),
                                               cluster_->quorum(),
                                               cluster_->n());
   // Buffer payload: [tag | value].

@@ -161,6 +161,7 @@ class PrismRsClient {
                                std::shared_ptr<const Bytes> value);
 
   net::Fabric* fabric_;
+  net::HostId self_;
   PrismRsCluster* cluster_;
   core::PrismClient prism_;
   uint16_t client_id_;

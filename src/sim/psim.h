@@ -1,0 +1,342 @@
+// Conservative time-windowed parallel DES across per-host event engines.
+//
+// One cluster simulation is sharded into one sim::Simulator per host
+// (each keeping the pooled-event/calendar-queue fast path and its own
+// bit-reproducible (when, seq) order), grouped into P partitions that run
+// on P worker threads. Cross-host traffic leaves the engines entirely and
+// travels as timestamped WireMsg records through single-writer inbox lanes;
+// the destination partition merges them back into its engines at window
+// barriers in the canonical (send_when, src_host, send_seq) order.
+//
+// Window protocol (classic conservative lookahead, Fujimoto; SimBricks
+// composes device simulators the same way): every cross-host delivery pays
+// at least L = lookahead nanoseconds of link latency, so once the global
+// minimum next-event time N is known, every partition may execute all
+// events with when < B = N + L without synchronization — no message
+// produced inside the window can demand delivery before B. Each window is
+// two barriers:
+//
+//   1. reduce:  every partition publishes min over its engines' NextTime();
+//               all workers read the array and agree on N (and B = N + L).
+//               N == kNoEvent on every engine terminates the run.
+//   2. execute: each partition runs its engines to RunUntil(B - 1)
+//               (inclusive deadline, so strictly below B). Cross-host sends
+//               are stamped and appended to the (dst_host × src_partition)
+//               lane — each lane has exactly one writer per window.
+//      barrier; then each partition drains the lanes of its own hosts,
+//      sorted by (send_when, src_host, send_seq), resolving ingress
+//      queueing in that order and inserting deliveries into the owning
+//      engine. Loop back to 1 (the reduction sees the drained deliveries).
+//
+// Determinism: engines are per HOST, not per partition, and the canonical
+// merge key is partition-free, so the executed schedule depends only on the
+// host graph — any P ≥ 2 produces bit-identical per-host (when, seq)
+// executions (psim_determinism_test pins this). Windows advance by at least
+// L per iteration: sends inside window k have send_when ≥ N_k, so their
+// arrivals land at ≥ N_k + L = B_k and the next reduction finds
+// N_{k+1} ≥ B_k.
+//
+// Serial fallback: anything that needs the *global* serial event order —
+// zero lookahead, wire-loss RNG draws, chaos fault schedules, span tracing,
+// exploration ScheduleHooks, or an explicit --cores=1 — downgrades the
+// cluster to a single shared engine with a logged reason. In that mode
+// engine(h) returns the same Simulator for every host and net::Fabric takes
+// its unmodified serial path, byte-identical to the pre-parallel core.
+#ifndef PRISM_SRC_SIM_PSIM_H_
+#define PRISM_SRC_SIM_PSIM_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace prism::sim {
+
+// One cross-host message in flight between partitions. Timing is resolved
+// in two halves mirroring the serial fabric's cut-through model: the sender
+// charges egress queueing at send time (depart/arrival are final), the
+// receiver charges ingress queueing at drain time, in canonical order.
+struct WireMsg {
+  TimePoint send_when = 0;  // sender's Now() at the Send call
+  uint64_t send_seq = 0;    // per-src-host send counter (canonical tiebreak)
+  uint32_t src_host = 0;
+  uint32_t dst_host = 0;
+  TimePoint arrival = 0;  // last bit reaches dst, before ingress queueing
+  Duration ser = 0;       // serialization time (ingress occupancy)
+  std::function<void()> deliver;
+};
+
+// Sense-reversing spin barrier. Each worker keeps its own sense flag and
+// passes it to every Wait; acquire/release on the shared flag publishes all
+// pre-barrier writes (lane appends, min-time slots) to every waiter.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int parties) : parties_(parties) {}
+
+  void Wait(bool* sense) {
+    *sense = !*sense;
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      arrived_.store(0, std::memory_order_relaxed);
+      flag_.store(*sense, std::memory_order_release);
+    } else {
+      int spins = 0;
+      while (flag_.load(std::memory_order_acquire) != *sense) {
+        if (++spins >= kSpinsBeforeYield) {
+          spins = 0;
+          std::this_thread::yield();
+        }
+      }
+    }
+  }
+
+ private:
+  static constexpr int kSpinsBeforeYield = 4096;
+  const int parties_;
+  std::atomic<int> arrived_{0};
+  std::atomic<bool> flag_{false};
+};
+
+class ClusterSim {
+ public:
+  struct Stats {
+    uint64_t windows = 0;   // conservative time windows executed
+    uint64_t barriers = 0;  // barrier crossings (2 per window)
+    int partitions = 0;     // worker threads the run used
+    uint64_t wire_messages = 0;  // cross-host messages merged at barriers
+  };
+
+  // `cores` is the requested intra-simulation parallelism; the run uses
+  // min(cores, hosts) partitions. cores <= 1 is the serial mode.
+  explicit ClusterSim(int cores) : cores_(cores < 1 ? 1 : cores) {}
+  ClusterSim(const ClusterSim&) = delete;
+  ClusterSim& operator=(const ClusterSim&) = delete;
+
+  // Collapses the cluster onto one shared serial engine, recording why.
+  // Legal only before any per-host engine has been handed out (i.e. before
+  // hosts are added to the fabric): after that the binding of protocol
+  // state to engines can no longer be changed.
+  void DowngradeToSerial(std::string reason) {
+    if (!parallel()) {
+      if (serial_reason_.empty()) serial_reason_ = std::move(reason);
+      return;
+    }
+    PRISM_CHECK_LE(engines_.size(), size_t{1})
+        << "serial downgrade after per-host engines were handed out";
+    serial_reason_ = std::move(reason);
+    std::fprintf(stderr, "psim: falling back to the serial engine: %s\n",
+                 serial_reason_.c_str());
+  }
+
+  bool parallel() const { return cores_ > 1 && serial_reason_.empty(); }
+  const std::string& serial_reason() const { return serial_reason_; }
+  int requested_cores() const { return cores_; }
+
+  // The event engine owning `host`. Parallel mode: one engine per host
+  // (partition-independent, which is what makes any worker count execute
+  // the same schedule). Serial mode: the single shared engine.
+  Simulator* engine(size_t host) {
+    if (!parallel()) {
+      if (engines_.empty()) engines_.push_back(std::make_unique<Simulator>());
+      return engines_[0].get();
+    }
+    if (engines_.size() <= host) {
+      PRISM_CHECK(!started_) << "hosts must be added before ClusterSim::Run";
+      while (engines_.size() <= host) {
+        engines_.push_back(std::make_unique<Simulator>());
+      }
+    }
+    return engines_[host].get();
+  }
+
+  size_t engine_count() const { return engines_.size(); }
+
+  // Minimum cross-host latency (net::CostModel::MinCrossHostLatency).
+  // Non-positive lookahead cannot make progress conservatively — it
+  // downgrades to serial instead of deadlocking in zero-width windows.
+  void SetLookahead(Duration l) {
+    if (l <= 0) {
+      DowngradeToSerial("zero cross-host lookahead (MinCrossHostLatency <= 0)");
+      return;
+    }
+    lookahead_ = l;
+  }
+  Duration lookahead() const { return lookahead_; }
+
+  // Installed by net::Fabric: resolves one drained message's ingress
+  // queueing and schedules its delivery on the destination engine. Called
+  // on the destination host's owning worker, in canonical order.
+  void SetDeliver(std::function<void(WireMsg&&)> fn) {
+    deliver_ = std::move(fn);
+  }
+
+  // Appends a stamped cross-host message. During the run this must be
+  // called from the sending host's owning worker (the fabric send path runs
+  // inside that host's events); before the run (workload setup spawning
+  // client coroutines on the main thread) messages are buffered and merged
+  // ahead of the first window.
+  void PostWire(WireMsg&& m) {
+    if (!started_) {
+      setup_msgs_.push_back(std::move(m));
+      return;
+    }
+    PRISM_CHECK_EQ(tl_partition_, PartitionOf(m.src_host))
+        << "cross-host send posted off its source partition";
+    lanes_[m.dst_host * static_cast<size_t>(partitions_) +
+           static_cast<size_t>(tl_partition_)]
+        .push_back(std::move(m));
+  }
+
+  // Runs every engine to completion. Parallel mode executes the window
+  // protocol documented above on min(cores, hosts) threads; serial mode is
+  // exactly Simulator::Run on the shared engine.
+  void Run() {
+    if (!parallel()) {
+      engine(0)->Run();
+      return;
+    }
+    PRISM_CHECK(lookahead_ > 0) << "ClusterSim::Run without lookahead";
+    PRISM_CHECK(deliver_ != nullptr) << "ClusterSim::Run without a fabric";
+    PRISM_CHECK(!engines_.empty());
+    const int hosts = static_cast<int>(engines_.size());
+    partitions_ = std::min(cores_, hosts);
+    stats_.partitions = partitions_;
+    lanes_.assign(engines_.size() * static_cast<size_t>(partitions_), {});
+    min_times_.assign(static_cast<size_t>(partitions_), Simulator::kNoEvent);
+    started_ = true;
+
+    // Setup-time sends (client spawns ran to first suspension on the main
+    // thread) merge before the first window, in canonical order.
+    stats_.wire_messages += setup_msgs_.size();
+    DrainCanonical(&setup_msgs_);
+
+    barrier_ = std::make_unique<SpinBarrier>(partitions_);
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(partitions_ - 1));
+    for (int p = 1; p < partitions_; ++p) {
+      workers.emplace_back([this, p] { WorkerLoop(p); });
+    }
+    WorkerLoop(0);
+    for (std::thread& t : workers) t.join();
+    started_ = false;
+  }
+
+  const Stats& stats() const { return stats_; }
+
+  uint64_t executed_events() const {
+    uint64_t total = 0;
+    for (const auto& e : engines_) total += e->executed_events();
+    return total;
+  }
+
+ private:
+  int PartitionOf(uint32_t host) const {
+    return static_cast<int>(host % static_cast<uint32_t>(partitions_));
+  }
+
+  // Sorts by the canonical cross-host key and hands every message to the
+  // fabric's ingress resolver. Clears the container.
+  void DrainCanonical(std::vector<WireMsg>* msgs) {
+    if (msgs->empty()) return;
+    std::sort(msgs->begin(), msgs->end(),
+              [](const WireMsg& a, const WireMsg& b) {
+                if (a.send_when != b.send_when) return a.send_when < b.send_when;
+                if (a.src_host != b.src_host) return a.src_host < b.src_host;
+                return a.send_seq < b.send_seq;
+              });
+    for (WireMsg& m : *msgs) deliver_(std::move(m));
+    msgs->clear();
+  }
+
+  void WorkerLoop(int p) {
+    tl_partition_ = p;
+    bool sense = false;
+    const size_t hosts = engines_.size();
+    std::vector<WireMsg> drain_scratch;
+    for (;;) {
+      // Phase 1: publish this partition's minimum next-event time, agree
+      // on the window bound B = N + L (every worker reduces the same
+      // array, so no third barrier is needed to share the result).
+      TimePoint local_min = Simulator::kNoEvent;
+      for (size_t h = static_cast<size_t>(p); h < hosts;
+           h += static_cast<size_t>(partitions_)) {
+        local_min = std::min(local_min, engines_[h]->NextTime());
+      }
+      min_times_[static_cast<size_t>(p)] = local_min;
+      barrier_->Wait(&sense);
+      TimePoint n = Simulator::kNoEvent;
+      for (int q = 0; q < partitions_; ++q) {
+        n = std::min(n, min_times_[static_cast<size_t>(q)]);
+      }
+      if (n == Simulator::kNoEvent) break;  // all engines idle, no wire msgs
+      const TimePoint bound = n + lookahead_;
+
+      // Phase 2: execute the window — strictly below the bound — then merge
+      // the cross-host traffic it produced into the destination engines.
+      for (size_t h = static_cast<size_t>(p); h < hosts;
+           h += static_cast<size_t>(partitions_)) {
+        engines_[h]->RunUntil(bound - 1);
+      }
+      barrier_->Wait(&sense);
+      uint64_t merged = 0;
+      for (size_t h = static_cast<size_t>(p); h < hosts;
+           h += static_cast<size_t>(partitions_)) {
+        drain_scratch.clear();
+        for (int q = 0; q < partitions_; ++q) {
+          std::vector<WireMsg>& lane =
+              lanes_[h * static_cast<size_t>(partitions_) +
+                     static_cast<size_t>(q)];
+          for (WireMsg& m : lane) drain_scratch.push_back(std::move(m));
+          lane.clear();
+        }
+        merged += drain_scratch.size();
+        DrainCanonical(&drain_scratch);
+      }
+      if (p == 0) {
+        ++stats_.windows;
+        stats_.barriers += 2;
+        stats_.wire_messages += merged;
+      } else {
+        wire_messages_others_.fetch_add(merged, std::memory_order_relaxed);
+      }
+    }
+    tl_partition_ = -1;
+    if (p == 0) {
+      stats_.wire_messages +=
+          wire_messages_others_.exchange(0, std::memory_order_relaxed);
+    }
+  }
+
+  const int cores_;
+  std::string serial_reason_;
+  Duration lookahead_ = 0;
+  std::function<void(WireMsg&&)> deliver_;
+  std::vector<std::unique_ptr<Simulator>> engines_;
+
+  bool started_ = false;
+  int partitions_ = 1;
+  // Inbox lanes, indexed dst_host * partitions + src_partition: exactly one
+  // writing worker per lane during a window, drained by the destination's
+  // owner after the barrier.
+  std::vector<std::vector<WireMsg>> lanes_;
+  std::vector<WireMsg> setup_msgs_;
+  std::vector<TimePoint> min_times_;
+  std::unique_ptr<SpinBarrier> barrier_;
+  Stats stats_;
+  std::atomic<uint64_t> wire_messages_others_{0};
+
+  inline static thread_local int tl_partition_ = -1;
+};
+
+}  // namespace prism::sim
+
+#endif  // PRISM_SRC_SIM_PSIM_H_

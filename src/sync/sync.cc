@@ -152,6 +152,7 @@ SyncClient::SyncClient(net::Fabric* fabric, net::HostId self,
                        SyncIndexServer* server, SyncScheme scheme,
                        uint16_t client_id, uint64_t rng_seed)
     : fabric_(fabric),
+      self_(self),
       server_(server),
       scheme_(scheme),
       id_(client_id),
@@ -176,7 +177,7 @@ sim::Task<void> SyncClient::Backoff(int attempt) {
       server_->options().backoff_base << std::min(attempt, 6));
   d += static_cast<sim::Duration>(
       rng_.NextBelow(static_cast<uint64_t>(d) / 2 + 1));
-  co_await sim::SleepFor(fabric_->simulator(), d);
+  co_await sim::SleepFor(fabric_->sim(self_), d);
 }
 
 sim::Task<Result<uint64_t>> SyncClient::LocateSlot(uint64_t key) {
@@ -264,7 +265,7 @@ sim::Task<Result<uint64_t>> SyncClient::AcquireLease(rdma::Addr slot) {
       static_cast<uint64_t>(opts.lease_term) / 1000;
   for (int attempt = 0; attempt < opts.max_attempts; ++attempt) {
     const uint64_t now_us =
-        static_cast<uint64_t>(fabric_->simulator()->Now()) / 1000;
+        static_cast<uint64_t>(fabric_->sim(self_)->Now()) / 1000;
     const uint64_t mine = PackLease(id_, now_us + term_us);
     auto old = co_await rdma_.CompareSwap(&server_->rdma(), server_->rkey(),
                                           slot + kLockOff, 0, mine);
@@ -272,7 +273,7 @@ sim::Task<Result<uint64_t>> SyncClient::AcquireLease(rdma::Addr slot) {
     if (old.ok() && *old == 0) co_return mine;
     if (old.ok() && *old != 0) {
       const uint64_t seen = *old;
-      if (fabric_->simulator()->Now() > LeaseExpiryNs(seen)) {
+      if (fabric_->sim(self_)->Now() > LeaseExpiryNs(seen)) {
         // Expired: steal with a CAS conditioned on the exact stale word, so
         // concurrent stealers can't both win.
         auto stolen = co_await rdma_.CompareSwap(
@@ -306,7 +307,7 @@ sim::Task<SyncClient::UpdateOutcome> SyncClient::UpdateLocked(rdma::Addr slot,
   Status acq = (co_await AcquireSpin(slot)).status();
   if (!acq.ok()) co_return UpdateOutcome{acq, Applied::kNo};
   if (critical_stall_ > 0) {
-    co_await sim::SleepFor(fabric_->simulator(), critical_stall_);
+    co_await sim::SleepFor(fabric_->sim(self_), critical_stall_);
   }
   Status s = co_await rdma_.Write(&server_->rdma(), server_->rkey(),
                                   slot + kValueOff, std::move(value));
@@ -326,12 +327,12 @@ sim::Task<SyncClient::UpdateOutcome> SyncClient::UpdateLease(rdma::Addr slot,
     auto lease = co_await AcquireLease(slot);
     if (!lease.ok()) co_return UpdateOutcome{lease.status(), Applied::kNo};
     if (critical_stall_ > 0) {
-      co_await sim::SleepFor(fabric_->simulator(), critical_stall_);
+      co_await sim::SleepFor(fabric_->sim(self_), critical_stall_);
     }
     // Self-fencing: only post the value write while safely inside the
     // lease. A holder that stalled past (expiry - guard) must assume a
     // successor stole the lease and may already be writing.
-    if (fabric_->simulator()->Now() + opts.lease_guard >=
+    if (fabric_->sim(self_)->Now() + opts.lease_guard >=
         LeaseExpiryNs(*lease)) {
       fencing_aborts_++;
       co_await ReleaseLease(slot, *lease);
@@ -379,7 +380,7 @@ sim::Task<SyncClient::UpdateOutcome> SyncClient::UpdateOptimistic(
       continue;
     }
     if (critical_stall_ > 0) {
-      co_await sim::SleepFor(fabric_->simulator(), critical_stall_);
+      co_await sim::SleepFor(fabric_->sim(self_), critical_stall_);
     }
     Status s = co_await rdma_.Write(&server_->rdma(), server_->rkey(),
                                     slot + kValueOff, std::move(value));
@@ -435,13 +436,13 @@ sim::Task<SyncClient::UpdateOutcome> SyncClient::UpdateUnfenced(
   Status acq = (co_await AcquireSpin(slot)).status();
   if (!acq.ok()) co_return UpdateOutcome{acq, Applied::kNo};
   if (critical_stall_ > 0) {
-    co_await sim::SleepFor(fabric_->simulator(), critical_stall_);
+    co_await sim::SleepFor(fabric_->sim(self_), critical_stall_);
   }
   struct Pipelined {
     Status lo, hi;
   };
   auto st = std::make_shared<Pipelined>();
-  auto all = std::make_shared<sim::Quorum>(fabric_->simulator(), 3, 3);
+  auto all = std::make_shared<sim::Quorum>(fabric_->sim(self_), 3, 3);
   const uint64_t lo = LoadU64(value.data());
   const uint64_t hi = LoadU64(value.data() + 8);
   sim::Spawn([this, slot, lo, st, all]() -> sim::Task<void> {
@@ -450,14 +451,14 @@ sim::Task<SyncClient::UpdateOutcome> SyncClient::UpdateUnfenced(
     round_trips_++;
     all->Arrive(true);
   });
-  co_await sim::SleepFor(fabric_->simulator(), sim::Nanos(80));
+  co_await sim::SleepFor(fabric_->sim(self_), sim::Nanos(80));
   sim::Spawn([this, slot, hi, st, all]() -> sim::Task<void> {
     st->hi = co_await rdma_.Write(&server_->rdma(), server_->rkey(),
                                   slot + kValueOff + 8, Word(hi));
     round_trips_++;
     all->Arrive(true);
   });
-  co_await sim::SleepFor(fabric_->simulator(), sim::Nanos(80));
+  co_await sim::SleepFor(fabric_->sim(self_), sim::Nanos(80));
   sim::Spawn([this, slot, all]() -> sim::Task<void> {
     (void)co_await rdma_.Write(&server_->rdma(), server_->rkey(),
                                slot + kLockOff, Word(0));
@@ -480,7 +481,7 @@ sim::Task<Result<Bytes>> SyncClient::ReadLocked(rdma::Addr slot) {
   Status acq = (co_await AcquireSpin(slot)).status();
   if (!acq.ok()) co_return acq;
   if (critical_stall_ > 0) {
-    co_await sim::SleepFor(fabric_->simulator(), critical_stall_);
+    co_await sim::SleepFor(fabric_->sim(self_), critical_stall_);
   }
   auto r = co_await rdma_.Read(&server_->rdma(), server_->rkey(),
                                slot + kValueOff, kValueSize);
@@ -493,7 +494,7 @@ sim::Task<Result<Bytes>> SyncClient::ReadLease(rdma::Addr slot) {
   auto lease = co_await AcquireLease(slot);
   if (!lease.ok()) co_return lease.status();
   if (critical_stall_ > 0) {
-    co_await sim::SleepFor(fabric_->simulator(), critical_stall_);
+    co_await sim::SleepFor(fabric_->sim(self_), critical_stall_);
   }
   auto r = co_await rdma_.Read(&server_->rdma(), server_->rkey(),
                                slot + kValueOff, kValueSize);
@@ -519,7 +520,7 @@ sim::Task<Result<Bytes>> SyncClient::ReadOptimistic(rdma::Addr slot) {
       continue;
     }
     if (critical_stall_ > 0) {
-      co_await sim::SleepFor(fabric_->simulator(), critical_stall_);
+      co_await sim::SleepFor(fabric_->sim(self_), critical_stall_);
     }
     auto val = co_await rdma_.Read(&server_->rdma(), server_->rkey(),
                                    slot + kValueOff, kValueSize);
@@ -579,21 +580,21 @@ sim::Task<Result<Bytes>> SyncClient::ReadUnfenced(rdma::Addr slot) {
       Result<Bytes> hi = Aborted("pending");
     };
     auto st = std::make_shared<Pipelined>();
-    auto all = std::make_shared<sim::Quorum>(fabric_->simulator(), 3, 3);
+    auto all = std::make_shared<sim::Quorum>(fabric_->sim(self_), 3, 3);
     sim::Spawn([this, slot, st, all]() -> sim::Task<void> {
       st->cas = co_await rdma_.CompareSwap(&server_->rdma(), server_->rkey(),
                                            slot + kLockOff, 0, id_);
       round_trips_++;
       all->Arrive(true);
     });
-    co_await sim::SleepFor(fabric_->simulator(), sim::Nanos(80));
+    co_await sim::SleepFor(fabric_->sim(self_), sim::Nanos(80));
     sim::Spawn([this, slot, st, all]() -> sim::Task<void> {
       st->lo = co_await rdma_.Read(&server_->rdma(), server_->rkey(),
                                    slot + kValueOff, 8);
       round_trips_++;
       all->Arrive(true);
     });
-    co_await sim::SleepFor(fabric_->simulator(), sim::Nanos(80));
+    co_await sim::SleepFor(fabric_->sim(self_), sim::Nanos(80));
     sim::Spawn([this, slot, st, all]() -> sim::Task<void> {
       st->hi = co_await rdma_.Read(&server_->rdma(), server_->rkey(),
                                    slot + kValueOff + 8, 8);
@@ -616,7 +617,7 @@ sim::Task<Result<Bytes>> SyncClient::ReadUnfenced(rdma::Addr slot) {
     // jittered pause instead of the exponential backoff the fenced
     // schemes use.
     co_await sim::SleepFor(
-        fabric_->simulator(),
+        fabric_->sim(self_),
         sim::Nanos(500 + static_cast<sim::Duration>(rng_.NextBelow(1500))));
   }
   co_return Aborted("unfenced: could not acquire");

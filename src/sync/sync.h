@@ -228,6 +228,7 @@ class SyncClient {
   sim::Task<void> Backoff(int attempt);
 
   net::Fabric* fabric_;
+  net::HostId self_;
   SyncIndexServer* server_;
   SyncScheme scheme_;
   uint16_t id_;  // nonzero; doubles as the lock owner word

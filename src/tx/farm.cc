@@ -95,7 +95,7 @@ sim::Task<rpc::MessagePtr> FarmShard::HandleUpdate(
     // happen in separate events — execution-phase readers may observe the
     // torn state and must retry via the version check.
     mem_->Store(obj + 16, req->values[i]);
-    co_await sim::Yield(fabric_->simulator());
+    co_await sim::Yield(fabric_->sim(rpc_->host()));
     mem_->StoreWord(obj, version + 1);  // bump + unlock
     lock_holder_[slot] = 0;
   }
@@ -137,6 +137,7 @@ Status FarmCluster::LoadKey(uint64_t key, ByteView value) {
 FarmClient::FarmClient(net::Fabric* fabric, net::HostId self,
                        FarmCluster* cluster, uint16_t client_id)
     : fabric_(fabric),
+      self_(self),
       cluster_(cluster),
       rdma_(fabric, self),
       rpc_(fabric, self),
@@ -168,7 +169,7 @@ sim::Task<Result<Bytes>> FarmClient::Read(Transaction& txn, uint64_t key) {
     const uint64_t version = LoadU64(obj_read->data());
     if ((version & FarmShard::kLockBit) != 0) {
       // Locked by a committing writer: back off briefly and retry.
-      co_await sim::SleepFor(fabric_->simulator(), sim::Micros(2));
+      co_await sim::SleepFor(fabric_->sim(self_), sim::Micros(2));
       continue;
     }
     if (LoadU64(obj_read->data() + 8) != key) {

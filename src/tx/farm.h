@@ -143,6 +143,7 @@ class FarmClient {
 
  private:
   net::Fabric* fabric_;
+  net::HostId self_;
   FarmCluster* cluster_;
   rdma::RdmaClient rdma_;
   rpc::RpcClient rpc_;

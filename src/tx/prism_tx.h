@@ -183,6 +183,7 @@ class PrismTxClient {
                                  Timestamp ts);
 
   net::Fabric* fabric_;
+  net::HostId self_;
   PrismTxCluster* cluster_;
   core::PrismClient prism_;
   uint16_t client_id_;

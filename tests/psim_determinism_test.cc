@@ -1,0 +1,628 @@
+// Bit-identity guard for the windowed parallel DES core (src/sim/psim.h,
+// DESIGN.md §5.8).
+//
+// The contract under test: for every application stack, the executed
+// schedule is a pure function of the workload — not of the worker count.
+// Concretely:
+//
+//  * cores=1 through ClusterSim is byte-identical to the historical
+//    single-Simulator fabric (same per-engine (when, seq) execution log).
+//  * cores=2 and cores=8 produce identical per-host (when, seq) execution
+//    logs and identical metrics snapshots (P-independence: engines are per
+//    host and the cross-host merge key is partition-free).
+//  * every observable — per-client operation logs, merged linearizability
+//    histories, fabric wire counters, total executed events — is identical
+//    across serial and parallel runs.
+//  * serial-only features (chaos schedules, exploration hooks, zero
+//    lookahead) downgrade the cluster to the serial fallback with a logged
+//    reason and reproduce the serial run exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/chaos/chaos.h"
+#include "src/common/bytes.h"
+#include "src/obs/metrics.h"
+#include "src/check/history.h"
+#include "src/common/rng.h"
+#include "src/explore/hooks.h"
+#include "src/kv/prism_kv.h"
+#include "src/net/fabric.h"
+#include "src/rs/prism_rs.h"
+#include "src/sim/psim.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+#include "src/sync/sync.h"
+#include "src/tx/prism_tx.h"
+
+namespace prism {
+namespace {
+
+using sim::Task;
+
+// kPlain = the historical Fabric(Simulator*) constructor; otherwise the
+// cluster constructor with the given worker count.
+constexpr int kPlain = -1;
+
+struct Rig {
+  std::unique_ptr<sim::Simulator> plain;
+  std::unique_ptr<sim::ClusterSim> cluster;
+  std::unique_ptr<net::Fabric> fabric;
+
+  explicit Rig(int cores,
+               net::CostModel model = net::CostModel::EvalCluster40G()) {
+    if (cores == kPlain) {
+      plain = std::make_unique<sim::Simulator>();
+      fabric = std::make_unique<net::Fabric>(plain.get(), model);
+    } else {
+      cluster = std::make_unique<sim::ClusterSim>(cores);
+      fabric = std::make_unique<net::Fabric>(cluster.get(), model);
+    }
+  }
+  void Run() {
+    if (plain != nullptr) {
+      plain->Run();
+    } else {
+      cluster->Run();
+    }
+  }
+  bool parallel() const { return fabric->parallel(); }
+  std::string serial_reason() const {
+    return cluster != nullptr ? cluster->serial_reason() : std::string();
+  }
+};
+
+// Everything a run exposes to the outside world, plus the internal
+// schedule (per-engine execution logs) for the parallel-vs-parallel
+// comparison.
+struct Observed {
+  std::vector<std::string> client_log;  // per-client op outcomes, in order
+  std::vector<std::string> history;     // canonicalized checker history
+  uint64_t net_messages = 0;
+  uint64_t net_wire_bytes = 0;
+  uint64_t executed = 0;
+  std::string serial_reason;
+  std::vector<std::vector<sim::EnabledEvent>> exec_logs;  // one per engine
+  obs::MetricsSnapshot snapshot;
+};
+
+// Installs per-engine (when, seq) execution logs. Parallel: one log per
+// host engine. Serial: a single merged log on the shared engine.
+void AttachExecLogs(Rig& rig, Observed* out) {
+  out->exec_logs.resize(rig.parallel() ? rig.fabric->host_count() : 1);
+  if (rig.parallel()) {
+    for (size_t h = 0; h < rig.fabric->host_count(); ++h) {
+      rig.fabric->sim(static_cast<net::HostId>(h))
+          ->set_exec_log(&out->exec_logs[h]);
+    }
+  } else {
+    rig.fabric->sim(0)->set_exec_log(&out->exec_logs[0]);
+  }
+}
+
+void FinishObserved(Rig& rig, Observed* out) {
+  out->net_messages = rig.fabric->total_messages();
+  out->net_wire_bytes = rig.fabric->total_wire_bytes();
+  out->executed = rig.plain != nullptr ? rig.plain->executed_events()
+                                       : rig.cluster->executed_events();
+  out->serial_reason = rig.serial_reason();
+  out->snapshot = rig.fabric->obs().metrics().Snapshot();
+}
+
+std::string OpToString(const check::Op& op) {
+  return std::to_string(op.client) + "/" + std::to_string(op.key) + "/" +
+         (op.type == check::OpType::kRead ? "r" : "w") + "/" +
+         std::to_string(op.value) + "/" + std::to_string(op.invoke) + "/" +
+         std::to_string(op.response) + "/" +
+         std::to_string(static_cast<int>(op.outcome)) + "/" +
+         std::to_string(op.done ? 1 : 0);
+}
+
+// Merges per-client recorder outputs into one canonically-ordered history
+// (recorders are per client in parallel mode: each is written only by its
+// owner's worker thread).
+std::vector<std::string> MergeHistories(
+    const std::vector<std::unique_ptr<check::HistoryRecorder>>& recs) {
+  std::vector<std::string> out;
+  for (const auto& r : recs) {
+    for (const check::Op& op : r->ops()) out.push_back(OpToString(op));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// The externally visible result must not depend on the worker count.
+void ExpectSameObservables(const Observed& a, const Observed& b,
+                           const std::string& what) {
+  EXPECT_EQ(a.client_log, b.client_log) << what;
+  EXPECT_EQ(a.history, b.history) << what;
+  EXPECT_EQ(a.net_messages, b.net_messages) << what;
+  EXPECT_EQ(a.net_wire_bytes, b.net_wire_bytes) << what;
+  EXPECT_EQ(a.executed, b.executed) << what;
+}
+
+// Parallel-vs-parallel: additionally the full schedule and the metrics
+// snapshot must match bit-for-bit.
+void ExpectSameSchedule(const Observed& a, const Observed& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.exec_logs.size(), b.exec_logs.size()) << what;
+  for (size_t h = 0; h < a.exec_logs.size(); ++h) {
+    ASSERT_EQ(a.exec_logs[h].size(), b.exec_logs[h].size())
+        << what << " engine " << h;
+    for (size_t i = 0; i < a.exec_logs[h].size(); ++i) {
+      ASSERT_EQ(a.exec_logs[h][i].when, b.exec_logs[h][i].when)
+          << what << " engine " << h << " event " << i;
+      ASSERT_EQ(a.exec_logs[h][i].seq, b.exec_logs[h][i].seq)
+          << what << " engine " << h << " event " << i;
+    }
+  }
+  EXPECT_EQ(a.snapshot, b.snapshot) << what;
+}
+
+std::string CodeName(const Status& s) {
+  return s.ok() ? "ok" : std::to_string(static_cast<int>(s.code()));
+}
+
+// ---- PRISM-KV ----
+
+Observed RunKvStack(int cores,
+                    net::CostModel model = net::CostModel::EvalCluster40G()) {
+  Observed out;
+  Rig rig(cores, model);
+  net::HostId server_host = rig.fabric->AddHost("kv-server");
+  kv::PrismKvOptions opts;
+  opts.n_buckets = 256;
+  opts.n_buffers = 512;
+  kv::PrismKvServer server(rig.fabric.get(), server_host, opts);
+
+  constexpr int kClients = 4;
+  constexpr int kOps = 10;
+  std::vector<net::HostId> hosts;
+  std::vector<std::unique_ptr<kv::PrismKvClient>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    hosts.push_back(rig.fabric->AddHost("kvc-" + std::to_string(c)));
+    clients.push_back(std::make_unique<kv::PrismKvClient>(
+        rig.fabric.get(), hosts[c], &server));
+  }
+  std::vector<std::vector<std::string>> logs(kClients);
+  sim::TaskTracker tracker;
+  for (int c = 0; c < kClients; ++c) {
+    sim::Spawn(
+        [&, c]() -> Task<void> {
+          // Per-client start offsets desynchronize the hosts so cross-host
+          // sends do not share timestamps (DESIGN.md §5.8: equal-send-time
+          // ties from different hosts are the one schedule deviation).
+          co_await sim::SleepFor(rig.fabric->sim(hosts[c]),
+                                 sim::Nanos(13 * (c + 1)));
+          Rng rng(77 + static_cast<uint64_t>(c));
+          for (int i = 0; i < kOps; ++i) {
+            const std::string key = "k" + std::to_string(rng.NextBelow(6));
+            if (rng.NextBool(0.5)) {
+              const std::string val =
+                  "v-" + std::to_string(c) + "-" + std::to_string(i);
+              Status s = co_await clients[c]->Put(key, BytesOfString(val));
+              logs[c].push_back("put " + key + " " + CodeName(s));
+            } else {
+              auto r = co_await clients[c]->Get(key);
+              logs[c].push_back(
+                  "get " + key + " " +
+                  (r.ok() ? StringOfBytes(*r) : CodeName(r.status())));
+            }
+            co_await sim::SleepFor(rig.fabric->sim(hosts[c]),
+                                   sim::Micros(rng.NextInRange(1, 7)));
+          }
+        },
+        &tracker);
+  }
+  AttachExecLogs(rig, &out);
+  rig.Run();
+  PRISM_CHECK_EQ(tracker.live(), 0u) << "kv clients hung";
+  for (int c = 0; c < kClients; ++c) {
+    for (std::string& line : logs[c]) {
+      out.client_log.push_back(std::to_string(c) + ": " + std::move(line));
+    }
+  }
+  FinishObserved(rig, &out);
+  return out;
+}
+
+// ---- PRISM-RS ----
+
+struct RsConfig {
+  uint64_t chaos_seed = 0;  // non-zero: arm a chaos schedule (serial only)
+};
+
+Observed RunRsStack(int cores, const RsConfig& cfg = {}) {
+  Observed out;
+  Rig rig(cores);
+  if (cfg.chaos_seed != 0 && rig.cluster != nullptr) {
+    // Chaos schedules mutate shared fabric state (crashes, partitions, the
+    // loss knob) in global time order: a driver arming chaos must request
+    // the serial fallback before hosts exist.
+    rig.cluster->DowngradeToSerial(
+        "chaos schedule requires the global serial event order");
+  }
+  rs::PrismRsOptions opts;
+  opts.n_blocks = 64;
+  opts.buffers_per_replica = 512;
+  rs::PrismRsCluster cluster(rig.fabric.get(), 3, opts);
+
+  constexpr int kClients = 3;
+  constexpr int kOps = 8;
+  std::vector<net::HostId> hosts;
+  std::vector<std::unique_ptr<rs::PrismRsClient>> clients;
+  std::vector<std::unique_ptr<check::HistoryRecorder>> recorders;
+  for (int c = 0; c < kClients; ++c) {
+    hosts.push_back(rig.fabric->AddHost("rsc-" + std::to_string(c)));
+    clients.push_back(std::make_unique<rs::PrismRsClient>(
+        rig.fabric.get(), hosts[c], &cluster, static_cast<uint16_t>(c + 1)));
+    recorders.push_back(std::make_unique<check::HistoryRecorder>(
+        rig.fabric->sim(hosts[c])));
+    clients[c]->set_history(recorders[c].get());
+  }
+
+  std::unique_ptr<chaos::ChaosMonkey> monkey;
+  if (cfg.chaos_seed != 0) {
+    chaos::ChaosOptions copts;
+    copts.seed = cfg.chaos_seed;
+    copts.start = sim::Micros(40);
+    copts.horizon = sim::Millis(1);
+    copts.crashable = {0, 1, 2};  // the replicas
+    copts.crash_count = 2;
+    copts.max_concurrent_crashes = 1;
+    monkey = std::make_unique<chaos::ChaosMonkey>(rig.fabric.get(), copts);
+    monkey->Arm();
+  }
+
+  std::vector<std::vector<std::string>> logs(kClients);
+  sim::TaskTracker tracker;
+  for (int c = 0; c < kClients; ++c) {
+    sim::Spawn(
+        [&, c]() -> Task<void> {
+          co_await sim::SleepFor(rig.fabric->sim(hosts[c]),
+                                 sim::Nanos(17 * (c + 1)));
+          Rng rng(901 + static_cast<uint64_t>(c));
+          for (int i = 0; i < kOps; ++i) {
+            const uint64_t block = rng.NextBelow(2);
+            if (i == 0 || rng.NextBool(0.6)) {
+              const std::string val = "rs-" + std::to_string(c) + "-" +
+                                      std::to_string(i) + "-payload";
+              Status s =
+                  co_await clients[c]->Put(block, BytesOfString(val));
+              logs[c].push_back("put " + std::to_string(block) + " " +
+                                CodeName(s));
+            } else {
+              auto r = co_await clients[c]->Get(block);
+              logs[c].push_back(
+                  "get " + std::to_string(block) + " " +
+                  (r.ok() ? StringOfBytes(*r) : CodeName(r.status())));
+            }
+            co_await sim::SleepFor(rig.fabric->sim(hosts[c]),
+                                   sim::Micros(rng.NextInRange(2, 11)));
+          }
+        },
+        &tracker);
+  }
+  AttachExecLogs(rig, &out);
+  rig.Run();
+  PRISM_CHECK_EQ(tracker.live(), 0u) << "rs clients hung";
+  for (int c = 0; c < kClients; ++c) {
+    for (std::string& line : logs[c]) {
+      out.client_log.push_back(std::to_string(c) + ": " + std::move(line));
+    }
+  }
+  out.history = MergeHistories(recorders);
+  FinishObserved(rig, &out);
+  return out;
+}
+
+// ---- PRISM-TX ----
+
+Observed RunTxStack(int cores) {
+  Observed out;
+  Rig rig(cores);
+  tx::PrismTxOptions opts;
+  tx::PrismTxCluster cluster(rig.fabric.get(), 2, opts);
+  for (uint64_t k = 1; k <= 6; ++k) {
+    PRISM_CHECK(cluster.LoadKey(k, BytesOfString("init-" + std::to_string(k)))
+                    .ok());
+  }
+
+  constexpr int kClients = 3;
+  constexpr int kTxns = 5;
+  std::vector<net::HostId> hosts;
+  std::vector<std::unique_ptr<tx::PrismTxClient>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    hosts.push_back(rig.fabric->AddHost("txc-" + std::to_string(c)));
+    clients.push_back(std::make_unique<tx::PrismTxClient>(
+        rig.fabric.get(), hosts[c], &cluster, static_cast<uint16_t>(c + 1)));
+  }
+  std::vector<std::vector<std::string>> logs(kClients);
+  sim::TaskTracker tracker;
+  for (int c = 0; c < kClients; ++c) {
+    sim::Spawn(
+        [&, c]() -> Task<void> {
+          co_await sim::SleepFor(rig.fabric->sim(hosts[c]),
+                                 sim::Nanos(23 * (c + 1)));
+          Rng rng(4242 + static_cast<uint64_t>(c));
+          for (int i = 0; i < kTxns; ++i) {
+            auto txn = clients[c]->Begin();
+            const uint64_t k1 = 1 + rng.NextBelow(6);
+            const uint64_t k2 = 1 + rng.NextBelow(6);
+            auto r1 = co_await clients[c]->Read(txn, k1);
+            auto r2 = co_await clients[c]->Read(txn, k2);
+            const std::string val = "tx-" + std::to_string(c) + "-" +
+                                    std::to_string(i);
+            clients[c]->Write(txn, k1, BytesOfString(val));
+            Status s = co_await clients[c]->Commit(txn);
+            logs[c].push_back(
+                "txn " + std::to_string(k1) + "," + std::to_string(k2) +
+                " r1=" + (r1.ok() ? StringOfBytes(*r1) : CodeName(r1.status())) +
+                " r2=" + (r2.ok() ? StringOfBytes(*r2) : CodeName(r2.status())) +
+                " commit=" + CodeName(s));
+            co_await sim::SleepFor(rig.fabric->sim(hosts[c]),
+                                   sim::Micros(rng.NextInRange(1, 9)));
+          }
+        },
+        &tracker);
+  }
+  AttachExecLogs(rig, &out);
+  rig.Run();
+  PRISM_CHECK_EQ(tracker.live(), 0u) << "tx clients hung";
+  for (int c = 0; c < kClients; ++c) {
+    for (std::string& line : logs[c]) {
+      out.client_log.push_back(std::to_string(c) + ": " + std::move(line));
+    }
+  }
+  FinishObserved(rig, &out);
+  return out;
+}
+
+// ---- one-sided synchronization (spinlock scheme) ----
+
+Observed RunSyncStack(int cores) {
+  Observed out;
+  Rig rig(cores);
+  net::HostId server_host = rig.fabric->AddHost("index");
+  sync::SyncIndexServer server(rig.fabric.get(), server_host,
+                               sync::SyncOptions{});
+  constexpr uint64_t kKeys = 2;
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    PRISM_CHECK(server.LoadKey(k, sync::InitialValue()).ok());
+  }
+
+  constexpr int kClients = 3;
+  constexpr int kOps = 6;
+  std::vector<net::HostId> hosts;
+  std::vector<std::unique_ptr<sync::SyncClient>> clients;
+  std::vector<std::unique_ptr<check::HistoryRecorder>> recorders;
+  for (int c = 0; c < kClients; ++c) {
+    hosts.push_back(rig.fabric->AddHost("sc-" + std::to_string(c)));
+    clients.push_back(std::make_unique<sync::SyncClient>(
+        rig.fabric.get(), hosts[c], &server, sync::SyncScheme::kSpinlock,
+        static_cast<uint16_t>(c + 1), 555 + static_cast<uint64_t>(c)));
+    recorders.push_back(std::make_unique<check::HistoryRecorder>(
+        rig.fabric->sim(hosts[c])));
+    clients[c]->set_history(recorders[c].get(), c + 1);
+  }
+  std::vector<std::vector<std::string>> logs(kClients);
+  sim::TaskTracker tracker;
+  for (int c = 0; c < kClients; ++c) {
+    sim::Spawn(
+        [&, c]() -> Task<void> {
+          co_await sim::SleepFor(rig.fabric->sim(hosts[c]),
+                                 sim::Nanos(31 * (c + 1)));
+          Rng rng(88 + static_cast<uint64_t>(c));
+          for (int i = 0; i < kOps; ++i) {
+            const uint64_t key = 1 + rng.NextBelow(kKeys);
+            if (rng.NextBool(0.6)) {
+              Status s = co_await clients[c]->Update(
+                  key, sync::MakeValue(9, c, i));
+              logs[c].push_back("upd " + std::to_string(key) + " " +
+                                CodeName(s));
+            } else {
+              auto r = co_await clients[c]->Read(key);
+              logs[c].push_back("read " + std::to_string(key) + " " +
+                                (r.ok() ? std::to_string(check::IdOf(*r))
+                                        : CodeName(r.status())));
+            }
+            co_await sim::SleepFor(rig.fabric->sim(hosts[c]),
+                                   sim::Micros(rng.NextInRange(0, 6)));
+          }
+        },
+        &tracker);
+  }
+  AttachExecLogs(rig, &out);
+  rig.Run();
+  PRISM_CHECK_EQ(tracker.live(), 0u) << "sync clients hung";
+  for (int c = 0; c < kClients; ++c) {
+    for (std::string& line : logs[c]) {
+      out.client_log.push_back(std::to_string(c) + ": " + std::move(line));
+    }
+  }
+  // The server's final words are part of the observable state.
+  for (uint64_t k = 1; k <= kKeys; ++k) {
+    out.client_log.push_back("final " + std::to_string(k) + " " +
+                             std::to_string(server.FinalValue(k)));
+  }
+  out.history = MergeHistories(recorders);
+  FinishObserved(rig, &out);
+  return out;
+}
+
+// ---- the bit-identity matrix, one test per stack ----
+
+template <typename Runner>
+void CheckStack(Runner run, const std::string& stack) {
+  const Observed plain = run(kPlain);
+  const Observed serial1 = run(1);
+  const Observed par2 = run(2);
+  const Observed par8 = run(8);
+
+  // cores=1 through the cluster is byte-identical to the historical serial
+  // fabric: same executed schedule, event for event.
+  ExpectSameObservables(plain, serial1, stack + ": plain vs cores=1");
+  ExpectSameSchedule(plain, serial1, stack + ": plain vs cores=1");
+
+  EXPECT_TRUE(par2.serial_reason.empty()) << stack;
+  EXPECT_TRUE(par8.serial_reason.empty()) << stack;
+
+  // Any worker count exposes the same world.
+  ExpectSameObservables(serial1, par2, stack + ": cores=1 vs cores=2");
+  ExpectSameObservables(serial1, par8, stack + ": cores=1 vs cores=8");
+
+  // And parallel schedules are partition-count independent, bit for bit.
+  ExpectSameSchedule(par2, par8, stack + ": cores=2 vs cores=8");
+}
+
+TEST(PsimDeterminismTest, KvStackBitIdentical) {
+  CheckStack([](int cores) { return RunKvStack(cores); }, "kv");
+}
+
+TEST(PsimDeterminismTest, RsStackBitIdentical) {
+  CheckStack([](int cores) { return RunRsStack(cores); }, "rs");
+}
+
+TEST(PsimDeterminismTest, TxStackBitIdentical) {
+  CheckStack([](int cores) { return RunTxStack(cores); }, "tx");
+}
+
+TEST(PsimDeterminismTest, SyncStackBitIdentical) {
+  CheckStack([](int cores) { return RunSyncStack(cores); }, "sync");
+}
+
+// ---- serial fallbacks ----
+
+// A degenerate cost model (zero propagation, free headers) has zero
+// conservative lookahead: the cluster must fall back to serial with a
+// logged reason and reproduce the serial schedule exactly.
+TEST(PsimDeterminismTest, ZeroLookaheadFallsBackToSerial) {
+  net::CostModel degenerate = net::CostModel::EvalCluster40G();
+  degenerate.propagation = 0;
+  degenerate.header_bytes = 0;
+
+  const Observed serial1 = RunKvStack(1, degenerate);
+  const Observed par8 = RunKvStack(8, degenerate);
+  EXPECT_NE(par8.serial_reason.find("lookahead"), std::string::npos)
+      << "reason: " << par8.serial_reason;
+  ExpectSameObservables(serial1, par8, "zero-lookahead fallback");
+  ExpectSameSchedule(serial1, par8, "zero-lookahead fallback");
+}
+
+// Wire loss draws the shared loss RNG in global send order — serial only.
+TEST(PsimDeterminismTest, LossyModelFallsBackToSerial) {
+  net::CostModel lossy = net::CostModel::EvalCluster40G();
+  lossy.loss_probability = 0.05;
+  sim::ClusterSim cluster(8);
+  net::Fabric fabric(&cluster, lossy);
+  EXPECT_FALSE(fabric.parallel());
+  EXPECT_NE(cluster.serial_reason().find("loss"), std::string::npos);
+}
+
+// A chaos seed replayed against a cores=8 request downgrades to the serial
+// engine and reproduces the cores=1 run bit-for-bit — crash/partition
+// schedules are not lost by asking for parallelism, only serialized.
+TEST(PsimDeterminismTest, ChaosSeedReplayDowngradesAndReproduces) {
+  RsConfig cfg;
+  cfg.chaos_seed = 20260807;
+  const Observed serial1 = RunRsStack(1, cfg);
+  const Observed par8 = RunRsStack(8, cfg);
+  EXPECT_NE(par8.serial_reason.find("chaos"), std::string::npos)
+      << "reason: " << par8.serial_reason;
+  ExpectSameObservables(serial1, par8, "chaos replay");
+  ExpectSameSchedule(serial1, par8, "chaos replay");
+  // The schedule did something: faults actually fired.
+  EXPECT_GT(par8.net_messages, 0u);
+}
+
+// An exploration reproducer (ReplayHook with a perturbation) replayed
+// against a cores=8 request: the driver downgrades (hooks need the global
+// enabled-set), installs the hook on the serial engine, and the run matches
+// the cores=1 replay exactly.
+TEST(PsimDeterminismTest, ExploreReplayDowngradesAndReproduces) {
+  auto run = [](int cores) {
+    Observed out;
+    Rig rig(cores);
+    if (rig.cluster != nullptr && cores > 1) {
+      rig.cluster->DowngradeToSerial(
+          "exploration ScheduleHook requires the global enabled set");
+    }
+    std::vector<explore::Perturbation> perturbations = {{5, 1}, {12, 1}};
+    explore::ReplayHook hook(sim::Nanos(200), perturbations);
+    rig.fabric->sim(0)->SetScheduleHook(&hook);
+
+    net::HostId server_host = rig.fabric->AddHost("kv-server");
+    kv::PrismKvOptions opts;
+    opts.n_buckets = 64;
+    opts.n_buffers = 128;
+    kv::PrismKvServer server(rig.fabric.get(), server_host, opts);
+    net::HostId ch = rig.fabric->AddHost("kvc");
+    kv::PrismKvClient client(rig.fabric.get(), ch, &server);
+    std::vector<std::string> log;
+    sim::TaskTracker tracker;
+    sim::Spawn(
+        [&]() -> Task<void> {
+          for (int i = 0; i < 4; ++i) {
+            Status s = co_await client.Put(
+                "k" + std::to_string(i % 2),
+                BytesOfString("v" + std::to_string(i)));
+            log.push_back("put " + CodeName(s));
+            auto r = co_await client.Get("k" + std::to_string(i % 2));
+            log.push_back("get " + (r.ok() ? StringOfBytes(*r)
+                                           : CodeName(r.status())));
+          }
+        },
+        &tracker);
+    AttachExecLogs(rig, &out);
+    rig.Run();
+    PRISM_CHECK_EQ(tracker.live(), 0u);
+    out.client_log = std::move(log);
+    FinishObserved(rig, &out);
+    return out;
+  };
+  const Observed serial1 = run(1);
+  const Observed par8 = run(8);
+  EXPECT_NE(par8.serial_reason.find("ScheduleHook"), std::string::npos)
+      << "reason: " << par8.serial_reason;
+  ExpectSameObservables(serial1, par8, "explore replay");
+  ExpectSameSchedule(serial1, par8, "explore replay");
+}
+
+// The parallel runs above actually exercised the window machinery: re-run
+// one stack at cores=2 and assert the psim counters moved.
+TEST(PsimDeterminismTest, ParallelRunsExecuteWindows) {
+  Rig rig(2);
+  net::HostId a = rig.fabric->AddHost("a");
+  net::HostId b = rig.fabric->AddHost("b");
+  sim::TaskTracker tracker;
+  constexpr int kPings = 16;
+  int got = 0;
+  // Simple cross-host ping chain straight over the fabric.
+  std::function<void(int)> bounce = [&](int i) {
+    if (i >= kPings) return;
+    rig.fabric->Send(i % 2 == 0 ? a : b, i % 2 == 0 ? b : a, 64,
+                     [&, i] {
+                       ++got;
+                       bounce(i + 1);
+                     });
+  };
+  bounce(0);
+  rig.Run();
+  EXPECT_EQ(got, kPings);
+  ASSERT_TRUE(rig.parallel());
+  const sim::ClusterSim::Stats& st = rig.cluster->stats();
+  EXPECT_GT(st.windows, 0u);
+  EXPECT_EQ(st.barriers, 2 * st.windows);
+  EXPECT_EQ(st.partitions, 2);
+  EXPECT_EQ(st.wire_messages, static_cast<uint64_t>(kPings));
+  (void)tracker;
+}
+
+}  // namespace
+}  // namespace prism
