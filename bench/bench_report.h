@@ -25,6 +25,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -35,6 +36,7 @@
 #include "bench/bench_common.h"
 #include "src/harness/sweep.h"
 #include "src/obs/obs.h"
+#include "src/obs/timeline.h"
 #include "src/workload/driver.h"
 
 namespace prism::bench {
@@ -242,6 +244,18 @@ class ObsRig {
     if (opts_.metrics) {
       for (obs::PointObs& s : slots_) s.want_metrics = true;
     }
+    // Tail-latency attribution rides with tracing: EVERY cell gets its own
+    // timeline store (deque = stable addresses; parallel sweep workers
+    // touch only their own slot), so phase breakdowns cover the saturated
+    // points, not just the traced cell. Only the traced cell's store can
+    // pin exemplar span trees.
+    if (!opts_.trace_path.empty()) {
+      stores_.resize(n_cells);
+      for (size_t i = 0; i < n_cells; ++i) {
+        if (i == 0) stores_[i].SetTracer(&tracer_);
+        slots_[i].timelines = &stores_[i];
+      }
+    }
   }
 
   // Slot for cell i (nullptr when neither --trace nor --metrics was given,
@@ -303,13 +317,155 @@ class ObsRig {
       ok = w.WriteFile(path) && ok;
       std::printf("metrics: %zu points -> %s\n", slots_.size(), path.c_str());
     }
+    if (!stores_.empty()) {
+      ok = WriteAttribution(bench_name, cells) && ok;
+      ok = WriteTimeSeries(bench_name, cells) && ok;
+    }
     return ok;
   }
 
  private:
+  // results/ATTRIB_<bench>.json: per point, per client class — the total
+  // latency digest, exact per-phase time sums, per-phase tail percentiles,
+  // and the slowest-K exemplars with their pinned span trees. This is the
+  // input tools/latency_report attributes tails from.
+  bool WriteAttribution(const std::string& bench_name,
+                        const std::vector<SweepCell>& cells) const {
+    JsonWriter w;
+    w.BeginObject();
+    w.Field("bench", bench_name);
+    w.BeginArray("phases");
+    for (int ph = 0; ph < obs::kNumPhases; ++ph) {
+      w.Field("", obs::PhaseName(ph));
+    }
+    w.EndArray();
+    w.BeginArray("points");
+    for (size_t i = 0; i < stores_.size() && i < cells.size(); ++i) {
+      const obs::TimelineStore& st = stores_[i];
+      w.BeginObject();
+      w.Field("series", cells[i].series);
+      if (!std::isnan(cells[i].x)) w.Field("x", cells[i].x);
+      w.Field("started_ops", st.started_ops());
+      w.Field("measured_ops", st.measured_ops());
+      w.BeginArray("classes");
+      for (size_t c = 0; c < st.n_classes(); ++c) {
+        const LatencyHistogram::Summary total = st.total_hist(c).Summarize();
+        w.BeginObject();
+        w.Field("class", st.class_name(c));
+        w.Field("count", total.count);
+        w.Field("mean_us", total.mean_us);
+        w.Field("p50_us", total.p50_us);
+        w.Field("p99_us", total.p99_us);
+        w.Field("p999_us", total.p999_us);
+        w.BeginArray("phase_total_ns");
+        for (int ph = 0; ph < obs::kNumPhases; ++ph) {
+          w.Field("", st.phase_total_ns(c, ph));
+        }
+        w.EndArray();
+        w.BeginArray("phase_p999_us");
+        for (int ph = 0; ph < obs::kNumPhases; ++ph) {
+          w.Field("", st.phase_hist(c, ph).Summarize().p999_us);
+        }
+        w.EndArray();
+        w.BeginArray("exemplars");
+        for (const obs::TimelineStore::Exemplar& e : st.exemplars(c)) {
+          w.BeginObject();
+          w.Field("seq", e.seq);
+          w.Field("start_ns", e.start_ns);
+          w.Field("end_ns", e.end_ns);
+          w.Field("total_ns", e.total_ns());
+          w.Field("retransmits", static_cast<uint64_t>(e.retransmits));
+          w.BeginArray("phase_ns");
+          for (int ph = 0; ph < obs::kNumPhases; ++ph) {
+            w.Field("", e.phase_ns[ph]);
+          }
+          w.EndArray();
+          if (!e.spans.empty()) {
+            w.BeginArray("spans");
+            for (const obs::SpanRecord& s : e.spans) {
+              w.BeginObject();
+              w.Field("id", s.id);
+              w.Field("parent", s.parent);
+              w.Field("name", s.name);
+              w.Field("cat", s.cat);
+              w.Field("host", static_cast<uint64_t>(s.host));
+              w.Field("start_ns", s.start_ns);
+              w.Field("end_ns", s.end_ns);
+              w.EndObject();
+            }
+            w.EndArray();
+          }
+          w.EndObject();
+        }
+        w.EndArray();
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    const std::string path = "results/ATTRIB_" + bench_name + ".json";
+    const bool ok = w.WriteFile(path);
+    std::printf("attrib: %zu points -> %s\n", stores_.size(), path.c_str());
+    return ok;
+  }
+
+  // results/TS_<bench>.json: per point, fixed sim-time buckets of arrivals,
+  // completions, retransmits, outstanding depth (running arrivals minus
+  // completions), and per-phase completion-time sums.
+  bool WriteTimeSeries(const std::string& bench_name,
+                       const std::vector<SweepCell>& cells) const {
+    JsonWriter w;
+    w.BeginObject();
+    w.Field("bench", bench_name);
+    w.BeginArray("phases");
+    for (int ph = 0; ph < obs::kNumPhases; ++ph) {
+      w.Field("", obs::PhaseName(ph));
+    }
+    w.EndArray();
+    w.BeginArray("points");
+    for (size_t i = 0; i < stores_.size() && i < cells.size(); ++i) {
+      const obs::TimeSeries& ts = stores_[i].series();
+      w.BeginObject();
+      w.Field("series", cells[i].series);
+      if (!std::isnan(cells[i].x)) w.Field("x", cells[i].x);
+      w.Field("bucket_ns", ts.bucket_ns());
+      w.BeginArray("buckets");
+      int64_t outstanding = 0;
+      for (const auto& [index, b] : ts.buckets()) {
+        outstanding += static_cast<int64_t>(b.arrivals) -
+                       static_cast<int64_t>(b.completions);
+        w.BeginObject();
+        w.Field("t_ns", index * ts.bucket_ns());
+        w.Field("arrivals", b.arrivals);
+        w.Field("completions", b.completions);
+        w.Field("retransmits", b.retransmits);
+        w.Field("outstanding", outstanding);
+        w.Field("total_ns", b.total_ns);
+        w.BeginArray("phase_ns");
+        for (int ph = 0; ph < obs::kNumPhases; ++ph) {
+          w.Field("", b.phase_ns[ph]);
+        }
+        w.EndArray();
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    const std::string path = "results/TS_" + bench_name + ".json";
+    const bool ok = w.WriteFile(path);
+    std::printf("timeseries: %zu points -> %s\n", stores_.size(),
+                path.c_str());
+    return ok;
+  }
+
   ObsOptions opts_;
   obs::Tracer tracer_;
   std::vector<obs::PointObs> slots_;
+  std::deque<obs::TimelineStore> stores_;  // one per cell when tracing
 };
 
 // Fans the cells out through the sweep runner, records every row (in cell

@@ -16,6 +16,7 @@
 #include "bench/bench_common.h"
 #include "bench/bench_report.h"
 #include "src/harness/sweep.h"
+#include "src/obs/timeline.h"
 #include "src/prism/service.h"
 #include "src/rdma/service.h"
 
@@ -46,7 +47,7 @@ workload::LoadPoint MeasureRdma2Reads(const net::CostModel& model,
                                       obs::PointObs* pobs) {
   sim::Simulator sim;
   net::Fabric fabric(&sim, model);
-  if (pobs != nullptr) fabric.obs().SetTracer(pobs->tracer);
+  if (pobs != nullptr) fabric.AttachTracer(pobs->tracer);
   net::HostId server = fabric.AddHost("server");
   net::HostId client_host = fabric.AddHost("client");
   rdma::AddressSpace mem(1 << 21);
@@ -61,12 +62,26 @@ workload::LoadPoint MeasureRdma2Reads(const net::CostModel& model,
     sim::TimePoint start = sim.Now();
     const obs::SpanId span =
         fabric.obs().StartSpan("rdma.2reads", "app", client_host, sim.Now());
+    // Closed-loop phase timeline: born directly in app (no backlog), armed
+    // on the hub so the transport's handoff points stamp it.
+    obs::OpTimeline* op = nullptr;
+    if (pobs != nullptr && pobs->timelines != nullptr) {
+      obs::TimelineStore* st = pobs->timelines;
+      op = st->StartOp(st->EnsureClass("rdma.2reads"), sim.Now());
+      op->Switch(obs::Phase::kApp, sim.Now());
+      op->set_root_span(span);
+      fabric.obs().SetCurrentOp(op);
+    }
     auto p = co_await client.Read(&service, region.rkey, region.base, 8);
     PRISM_CHECK(p.ok());
     auto r = co_await client.Read(&service, region.rkey, LoadU64(p->data()),
                                   kValue);
     PRISM_CHECK(r.ok());
     fabric.obs().FinishSpan(span, sim.Now());
+    if (op != nullptr) {
+      fabric.obs().SetCurrentOp(nullptr);
+      pobs->timelines->FinishOp(op, sim.Now());
+    }
     fabric.obs().ops().Record("rdma.2reads", client.tally());
     us = ToMicros(sim.Now() - start);
   });
@@ -85,7 +100,7 @@ workload::LoadPoint MeasurePrismIndirect(const net::CostModel& model,
                                          obs::PointObs* pobs) {
   sim::Simulator sim;
   net::Fabric fabric(&sim, model);
-  if (pobs != nullptr) fabric.obs().SetTracer(pobs->tracer);
+  if (pobs != nullptr) fabric.AttachTracer(pobs->tracer);
   net::HostId server_host = fabric.AddHost("server");
   net::HostId client_host = fabric.AddHost("client");
   rdma::AddressSpace mem(1 << 21);
@@ -99,11 +114,23 @@ workload::LoadPoint MeasurePrismIndirect(const net::CostModel& model,
     sim::TimePoint start = sim.Now();
     const obs::SpanId span = fabric.obs().StartSpan(
         "prism.indirect_read", "app", client_host, sim.Now());
+    obs::OpTimeline* op = nullptr;
+    if (pobs != nullptr && pobs->timelines != nullptr) {
+      obs::TimelineStore* st = pobs->timelines;
+      op = st->StartOp(st->EnsureClass("prism.indirect_read"), sim.Now());
+      op->Switch(obs::Phase::kApp, sim.Now());
+      op->set_root_span(span);
+      fabric.obs().SetCurrentOp(op);
+    }
     auto r = co_await client.ExecuteOne(
         &server, Op::IndirectRead(region.rkey, region.base, kValue));
     PRISM_CHECK(r.ok());
     PRISM_CHECK(r->status.ok());
     fabric.obs().FinishSpan(span, sim.Now());
+    if (op != nullptr) {
+      fabric.obs().SetCurrentOp(nullptr);
+      pobs->timelines->FinishOp(op, sim.Now());
+    }
     fabric.obs().ops().Record("prism.indirect_read", client.tally());
     us = ToMicros(sim.Now() - start);
   });

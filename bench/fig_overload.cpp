@@ -63,7 +63,13 @@ struct OverloadConfig {
   workload::ArrivalKind kind = workload::ArrivalKind::kPoisson;
   BenchWindows windows;
   uint64_t seed = 1;
-  int workers_per_host = 256;
+  // Bounded in-flight window per host (a real client library's QP-depth /
+  // credit limit). Past saturation the excess load queues in the client
+  // backlog rather than inside the fabric: by Little's law 32*11 in-flight
+  // ops at the ~8 Mops service plateau spend ~45 µs in flight, so the
+  // multi-hundred-µs post-knee p999 is backlog_wait, which is what the
+  // attribution layer (and tools/latency_report) must show.
+  int workers_per_host = 32;
   // When set, VmRSS is sampled at the end of the run while the rigs are
   // still live (the --guard path).
   size_t* live_rss_out = nullptr;
@@ -95,7 +101,8 @@ workload::ArrivalSpec SpecOf(workload::ArrivalKind kind, double ops_per_sec) {
 template <typename ClientT, typename MakeClient>
 workload::LoadPoint DriveOverload(sim::Simulator& sim, net::Fabric& fabric,
                                   const OverloadConfig& cfg,
-                                  const MakeClient& make_client) {
+                                  const MakeClient& make_client,
+                                  obs::PointObs* pobs = nullptr) {
   const uint64_t keys = BenchKeyCount();
   auto client_hosts = AddClientHosts(fabric);
   const size_t n_hosts = client_hosts.size();
@@ -130,14 +137,19 @@ workload::LoadPoint DriveOverload(sim::Simulator& sim, net::Fabric& fabric,
     popts.workers = cfg.workers_per_host;
     rig.pool = std::make_unique<workload::OpenLoopPool>(
         &sim, SpecOf(cfg.kind, rate_per_host), n_here, master.Fork(), popts);
+    if (pobs != nullptr && pobs->timelines != nullptr) {
+      rig.pool->set_timelines(pobs->timelines, &fabric.obs(), client_hosts[h]);
+    }
     ClientT* gc = rig.get_client.get();
     ClientT* pc = rig.put_client.get();
+    net::Fabric* fb = &fabric;
     // Every loaded key stays reachable through any interleaving: PRISM-KV's
     // install CAS is atomic and each PUT chain stages its swap operand in a
     // private scratch lease, so a failed GET here is table corruption, not
     // queueing — check it hard.
     rig.pool->AddClass(
-        "kv.get", kReadFrac, [gc, keys, cfg](uint64_t draw) -> sim::Task<void> {
+        "kv.get", kReadFrac,
+        [gc, keys, cfg](uint64_t draw, obs::OpTimeline*) -> sim::Task<void> {
           auto r = co_await gc->Get(KeyOf(draw % keys));
           PRISM_CHECK(r.ok())
               << r.status() << " key=" << (draw % keys)
@@ -146,7 +158,8 @@ workload::LoadPoint DriveOverload(sim::Simulator& sim, net::Fabric& fabric,
         });
     rig.pool->AddClass(
         "kv.put", 1.0 - kReadFrac,
-        [pc, keys, cfg, &sim](uint64_t draw) -> sim::Task<void> {
+        [pc, keys, cfg, &sim, fb](uint64_t draw,
+                                  obs::OpTimeline* op) -> sim::Task<void> {
           for (int attempt = 0;; ++attempt) {
             Status s = co_await pc->Put(KeyOf(draw % keys),
                                         Bytes(kBenchValueSize, 0x22));
@@ -158,6 +171,9 @@ workload::LoadPoint DriveOverload(sim::Simulator& sim, net::Fabric& fabric,
                 << " offered=" << cfg.offered_mops
                 << " batched=" << cfg.batched << " attempt=" << attempt;
             co_await sim::SleepFor(&sim, sim::Micros(20));
+            // The sleep suspended us: re-arm the timed-op register before
+            // the retry so the next Put attributes to this op.
+            if (op != nullptr) fb->obs().SetCurrentOp(op);
           }
         });
     rig.pool->Start(measure_start, end);
@@ -216,7 +232,7 @@ workload::LoadPoint RunPrismOverloadPoint(const OverloadConfig& cfg,
                                           obs::PointObs* pobs = nullptr) {
   sim::Simulator sim;
   net::Fabric fabric(&sim, net::CostModel::EvalCluster40G());
-  if (pobs != nullptr) fabric.obs().SetTracer(pobs->tracer);
+  if (pobs != nullptr) fabric.AttachTracer(pobs->tracer);
   net::HostId server_host = fabric.AddHost("kv-server");
   kv::PrismKvOptions opts;
   const uint64_t keys = BenchKeyCount();
@@ -234,7 +250,7 @@ workload::LoadPoint RunPrismOverloadPoint(const OverloadConfig& cfg,
     return std::make_unique<kv::PrismKvClient>(&fabric, host, &server);
   };
   workload::LoadPoint p =
-      DriveOverload<kv::PrismKvClient>(sim, fabric, cfg, make_client);
+      DriveOverload<kv::PrismKvClient>(sim, fabric, cfg, make_client, pobs);
   if (pobs != nullptr) {
     if (pobs->tracer != nullptr) pobs->host_names = fabric.HostNames();
     if (pobs->want_metrics) pobs->snapshot = fabric.obs().metrics().Snapshot();
@@ -246,7 +262,7 @@ workload::LoadPoint RunPilafOverloadPoint(const OverloadConfig& cfg,
                                           obs::PointObs* pobs = nullptr) {
   sim::Simulator sim;
   net::Fabric fabric(&sim, net::CostModel::EvalCluster40G());
-  if (pobs != nullptr) fabric.obs().SetTracer(pobs->tracer);
+  if (pobs != nullptr) fabric.AttachTracer(pobs->tracer);
   net::HostId server_host = fabric.AddHost("pilaf-server");
   kv::PilafOptions opts;
   const uint64_t keys = BenchKeyCount();
@@ -265,7 +281,7 @@ workload::LoadPoint RunPilafOverloadPoint(const OverloadConfig& cfg,
     return std::make_unique<kv::PilafClient>(&fabric, host, &server);
   };
   workload::LoadPoint p =
-      DriveOverload<kv::PilafClient>(sim, fabric, cfg, make_client);
+      DriveOverload<kv::PilafClient>(sim, fabric, cfg, make_client, pobs);
   if (pobs != nullptr) {
     if (pobs->tracer != nullptr) pobs->host_names = fabric.HostNames();
     if (pobs->want_metrics) pobs->snapshot = fabric.obs().metrics().Snapshot();

@@ -54,7 +54,11 @@ struct SyncConfig {
 uint64_t DefaultClients() { return FastMode() ? 10'000 : 100'000; }
 
 std::vector<double> OfferedSweepMops() {
-  if (FastMode()) return {0.02, 0.08};
+  // Fast mode keeps the full sweep's endpoints: the top point must reach
+  // real lock convoys so the attribution acceptance check (spinlock tail
+  // sync_spin-dominated, PRISM-native tail wire-dominated) sees the same
+  // regime CI asserts on.
+  if (FastMode()) return {0.02, 0.2};
   return {0.02, 0.05, 0.1, 0.2};
 }
 
@@ -62,7 +66,7 @@ workload::LoadPoint RunSyncPoint(const SyncConfig& cfg,
                                  obs::PointObs* pobs = nullptr) {
   sim::Simulator sim;
   net::Fabric fabric(&sim, net::CostModel::EvalCluster40G());
-  if (pobs != nullptr) fabric.obs().SetTracer(pobs->tracer);
+  if (pobs != nullptr) fabric.AttachTracer(pobs->tracer);
   sync::SyncOptions sopts;
   sopts.n_slots = 64;
   sync::SyncIndexServer server(&fabric, fabric.AddHost("sync-server"), sopts);
@@ -108,14 +112,21 @@ workload::LoadPoint RunSyncPoint(const SyncConfig& cfg,
     rig.pool = std::make_unique<workload::OpenLoopPool>(
         &sim, workload::ArrivalSpec::Poisson(rate_per_host), n_here,
         master.Fork(), popts);
+    if (pobs != nullptr && pobs->timelines != nullptr) {
+      rig.pool->set_timelines(pobs->timelines, &fabric.obs(), client_hosts[h]);
+    }
     sync::SyncClient* rd = rig.reader.get();
     sync::SyncClient* up = rig.updater.get();
+    net::Fabric* fb = &fabric;
     // kAborted means max_attempts lost races — real behavior under a hot
     // lock, not corruption. Retry with a fresh attempt budget so the convoy
-    // cost lands in the latency tail instead of aborting the sample.
+    // cost lands in the latency tail instead of aborting the sample. The
+    // retry pause is acquisition spin for attribution; the register is
+    // re-armed after every suspension so the next call attributes here.
     rig.pool->AddClass(
         "sync.read", 1.0 - kUpdateFrac,
-        [rd, chooser, cfg, &sim](uint64_t draw) -> sim::Task<void> {
+        [rd, chooser, cfg, &sim, fb](uint64_t draw,
+                                     obs::OpTimeline* op) -> sim::Task<void> {
           Rng r(draw);
           const uint64_t key = 1 + chooser.Next(r);
           for (int attempt = 0;; ++attempt) {
@@ -124,12 +135,16 @@ workload::LoadPoint RunSyncPoint(const SyncConfig& cfg,
             PRISM_CHECK(attempt < 100 && v.status().code() == Code::kAborted)
                 << v.status() << " scheme=" << cfg.name << " key=" << key
                 << " offered=" << cfg.offered_mops;
+            obs::SwitchOp(op, obs::Phase::kSyncSpin, sim.Now());
             co_await sim::SleepFor(&sim, sim::Micros(20));
+            obs::SwitchOp(op, obs::Phase::kApp, sim.Now());
+            if (op != nullptr) fb->obs().SetCurrentOp(op);
           }
         });
     rig.pool->AddClass(
         "sync.update", kUpdateFrac,
-        [up, chooser, cfg, &sim](uint64_t draw) -> sim::Task<void> {
+        [up, chooser, cfg, &sim, fb](uint64_t draw,
+                                     obs::OpTimeline* op) -> sim::Task<void> {
           Rng r(draw);
           const uint64_t key = 1 + chooser.Next(r);
           for (int attempt = 0;; ++attempt) {
@@ -139,7 +154,10 @@ workload::LoadPoint RunSyncPoint(const SyncConfig& cfg,
             PRISM_CHECK(attempt < 100 && s.code() == Code::kAborted)
                 << s << " scheme=" << cfg.name << " key=" << key
                 << " offered=" << cfg.offered_mops;
+            obs::SwitchOp(op, obs::Phase::kSyncSpin, sim.Now());
             co_await sim::SleepFor(&sim, sim::Micros(20));
+            obs::SwitchOp(op, obs::Phase::kApp, sim.Now());
+            if (op != nullptr) fb->obs().SetCurrentOp(op);
           }
         });
     rig.pool->Start(measure_start, end);

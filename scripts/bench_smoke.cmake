@@ -148,6 +148,8 @@ endif()
 
 string(REGEX REPLACE "trace: [^\n]*\n" "" stripped "${traced_out}")
 string(REGEX REPLACE "metrics: [^\n]*\n" "" stripped "${stripped}")
+string(REGEX REPLACE "attrib: [^\n]*\n" "" stripped "${stripped}")
+string(REGEX REPLACE "timeseries: [^\n]*\n" "" stripped "${stripped}")
 if(NOT out STREQUAL stripped)
   message(FATAL_ERROR "tracing changed the driver's stdout:\n"
           "--- untraced ---\n${out}\n--- traced (obs lines stripped) ---\n"
@@ -194,6 +196,81 @@ if(n_mvals LESS_EQUAL 0)
 endif()
 string(JSON ignored GET "${metrics}" points 0 metrics 0 component)
 string(JSON ignored GET "${metrics}" points 0 metrics 0 name)
+
+# ---- tail-attribution artifacts (ATTRIB_/TS_) ----
+# The traced run also dumps the per-point phase decomposition and the
+# windowed time-series that tools/latency_report reads. Validate the schema:
+# a phase-name table, per-class exact phase sums, p999 exemplars, and
+# per-bucket arrival/completion/outstanding counts.
+set(attrib_path ${WORK_DIR}/results/ATTRIB_${figs_key}.json)
+if(NOT EXISTS ${attrib_path})
+  message(FATAL_ERROR "traced driver did not write ${attrib_path}")
+endif()
+file(READ ${attrib_path} attrib)
+string(JSON abench GET "${attrib}" bench)
+if(NOT abench STREQUAL ${figs_key})
+  message(FATAL_ERROR "unexpected bench '${abench}' in ${attrib_path}")
+endif()
+string(JSON n_phases LENGTH "${attrib}" phases)
+if(NOT n_phases EQUAL 7)
+  message(FATAL_ERROR "expected 7 phase names, got ${n_phases}")
+endif()
+string(JSON n_apoints LENGTH "${attrib}" points)
+if(n_apoints LESS_EQUAL 0)
+  message(FATAL_ERROR "attribution dump has no points")
+endif()
+string(JSON ignored GET "${attrib}" points 0 series)
+string(JSON ignored GET "${attrib}" points 0 started_ops)
+string(JSON ignored GET "${attrib}" points 0 measured_ops)
+string(JSON n_classes LENGTH "${attrib}" points 0 classes)
+if(n_classes LESS_EQUAL 0)
+  message(FATAL_ERROR "attribution point 0 has no client classes")
+endif()
+foreach(field class count p999_us)
+  string(JSON ignored GET "${attrib}" points 0 classes 0 ${field})
+endforeach()
+foreach(arr phase_total_ns phase_p999_us)
+  string(JSON n LENGTH "${attrib}" points 0 classes 0 ${arr})
+  if(NOT n EQUAL 7)
+    message(FATAL_ERROR "classes[0].${arr} has ${n} entries, expected 7")
+  endif()
+endforeach()
+string(JSON n_ex LENGTH "${attrib}" points 0 classes 0 exemplars)
+if(n_ex LESS_EQUAL 0)
+  message(FATAL_ERROR "attribution point 0 class 0 pinned no exemplars")
+endif()
+foreach(field seq start_ns end_ns total_ns retransmits)
+  string(JSON ignored GET "${attrib}" points 0 classes 0 exemplars 0 ${field})
+endforeach()
+string(JSON n LENGTH "${attrib}" points 0 classes 0 exemplars 0 phase_ns)
+if(NOT n EQUAL 7)
+  message(FATAL_ERROR "exemplar phase_ns has ${n} entries, expected 7")
+endif()
+
+set(ts_path ${WORK_DIR}/results/TS_${figs_key}.json)
+if(NOT EXISTS ${ts_path})
+  message(FATAL_ERROR "traced driver did not write ${ts_path}")
+endif()
+file(READ ${ts_path} ts)
+string(JSON tbench GET "${ts}" bench)
+if(NOT tbench STREQUAL ${figs_key})
+  message(FATAL_ERROR "unexpected bench '${tbench}' in ${ts_path}")
+endif()
+string(JSON n_tpoints LENGTH "${ts}" points)
+if(n_tpoints LESS_EQUAL 0)
+  message(FATAL_ERROR "time-series dump has no points")
+endif()
+string(JSON bucket_ns GET "${ts}" points 0 bucket_ns)
+if(bucket_ns LESS_EQUAL 0)
+  message(FATAL_ERROR "points[0].bucket_ns=${bucket_ns}, expected > 0")
+endif()
+string(JSON n_buckets LENGTH "${ts}" points 0 buckets)
+if(n_buckets LESS_EQUAL 0)
+  message(FATAL_ERROR "time-series point 0 has no buckets")
+endif()
+foreach(field t_ns arrivals completions retransmits outstanding total_ns)
+  string(JSON ignored GET "${ts}" points 0 buckets 0 ${field})
+endforeach()
 
 # Protocol-complexity fields merged into BENCH_figs.json (the traced run
 # rewrote the entry; the fields are emitted on every run regardless).

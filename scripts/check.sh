@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Full pre-merge check: tier-1 verify (ROADMAP.md), the open-loop overload
 # smoke (fig_overload batching invariant + the ≤64 B/client memory guard at
-# 1M logical clients), an ASan+UBSan build of
+# 1M logical clients), the tail-latency attribution smoke
+# (tools/latency_report on the traced figure artifacts, including the
+# malformed-input exit-code contract), an ASan+UBSan build of
 # the whole tree with the sanitize-labeled test suite, the chaos sweeps, the
 # schedule-space exploration sweeps (label: explore), the one-sided
 # synchronization suite (label: sync) under both the ASan and TSan presets,
@@ -43,6 +45,19 @@ echo "==> obs: traced figure smoke (--trace/--metrics must not perturb)"
     --trace=results/trace_check.json --metrics >/dev/null)
 test -s build/results/trace_check.json
 test -s build/results/METRICS_fig2_topology.json
+
+echo "==> obs: tail-latency attribution report (tools/latency_report)"
+(cd build && ./tools/latency_report \
+    --ts=results/TS_fig2_topology.json \
+    --trace=results/trace_check.json \
+    results/ATTRIB_fig2_topology.json >/dev/null)
+# Malformed input (a Chrome trace where the ATTRIB schema is expected) must
+# fail loudly, not print an empty report.
+if (cd build && ./tools/latency_report results/trace_check.json \
+    >/dev/null 2>&1); then
+  echo "latency_report accepted a malformed ATTRIB input" >&2
+  exit 1
+fi
 
 echo "==> overload: open-loop point + batching invariant (fig_overload)"
 (cd build && PRISM_BENCH_FAST=1 ./bench/fig_overload --jobs="$JOBS" \

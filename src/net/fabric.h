@@ -42,6 +42,7 @@
 #include "src/common/rng.h"
 #include "src/net/cost_model.h"
 #include "src/obs/obs.h"
+#include "src/obs/timeline.h"
 #include "src/sim/psim.h"
 #include "src/sim/simulator.h"
 #include "src/sim/sync.h"
@@ -113,6 +114,28 @@ class Fabric {
   // optional span tracer). See src/obs/obs.h.
   obs::Hub& obs() { return obs_; }
   const obs::Hub& obs() const { return obs_; }
+
+  // Span tracing and per-op phase timelines record in the global serial
+  // completion order, which a parallel cluster cannot provide; requesting
+  // either on a cluster-backed fabric downgrades it to the serial engine
+  // with a logged reason (metrics-only observation keeps the parallel
+  // path). Must run before AddHost — the same window in which loss/chaos
+  // downgrades happen.
+  void RequireSerialObservability(std::string why) {
+    if (cluster_ != nullptr && cluster_->parallel()) {
+      cluster_->DowngradeToSerial(std::move(why));
+      sim_ = cluster_->engine(0);
+    }
+  }
+
+  // Downgrading attach path for the tracer (see RequireSerialObservability).
+  void AttachTracer(obs::Tracer* t) {
+    if (t != nullptr) {
+      RequireSerialObservability(
+          "span tracing records in global completion order");
+    }
+    obs_.SetTracer(t);
+  }
 
   // Host names indexed by HostId, for trace process metadata.
   std::vector<std::string> HostNames() const {
@@ -206,10 +229,15 @@ class Fabric {
     }
     if (!TryAttempt(src, dst, payload_bytes, on_delivery, on_dropped,
                     /*attempt=*/0)) {
+      // The frame was lost: from this instant until a successful re-attempt
+      // the op is in loss recovery. The current-op register is still valid
+      // here (Send is entered synchronously from the arming client).
+      obs::OpTimeline* const op = obs_.current_op();
+      obs::SwitchOp(op, obs::Phase::kRetransmit, sim(src)->Now());
       auto pending = std::make_unique<PendingSend>(
           PendingSend{src, dst, payload_bytes, std::move(on_delivery),
                       std::move(on_dropped), /*attempt=*/0,
-                      At(dst).epoch});
+                      At(dst).epoch, op});
       ScheduleRetransmit(std::move(pending));
     }
   }
@@ -229,6 +257,10 @@ class Fabric {
     std::function<void()> on_dropped;
     int attempt;
     uint32_t dst_epoch;  // incarnation targeted when the send was issued
+    // Phase timeline of the op this frame belongs to (null when untimed);
+    // timelines are never recycled, so a stale pointer after an op timeout
+    // can only stamp its own finished (inert) timeline.
+    obs::OpTimeline* op;
   };
 
   static uint64_t LinkKey(HostId src, HostId dst) {
@@ -407,8 +439,11 @@ class Fabric {
   void Retry(std::unique_ptr<PendingSend> p) {
     // A retransmit timer fires outside any span-propagation window: the
     // current-span register belongs to whoever ran last, so flight spans of
-    // re-attempts are roots of their own chains.
+    // re-attempts are roots of their own chains. The op register, by
+    // contrast, travels *inside* the PendingSend — re-arm it so the
+    // re-attempt's own loss handling stamps the right timeline.
     obs_.SetCurrentSpan(0);
+    obs_.SetCurrentOp(p->op);
     // Tear down retransmit state targeting a dead incarnation: if the
     // destination crashed since the send was issued (even if it has since
     // restarted), the chain stops and the drop verdict fires.
@@ -419,8 +454,12 @@ class Fabric {
       return;
     }
     ++p->attempt;
+    // Optimistically back on the wire as of now; a repeated loss flips the
+    // op straight back to kRetransmit at the same timestamp (zero wire ns).
+    obs::SwitchOp(p->op, obs::Phase::kWire, sim(p->src)->Now());
     if (!TryAttempt(p->src, p->dst, p->payload_bytes, p->on_delivery,
                     p->on_dropped, p->attempt)) {
+      obs::SwitchOp(p->op, obs::Phase::kRetransmit, sim(p->src)->Now());
       ScheduleRetransmit(std::move(p));
     }
   }
@@ -509,6 +548,13 @@ class Fabric {
     out.AddCounterValue("net", "purged_messages", "", purged_messages());
     out.AddCounterValue("net", "partitioned_messages", "",
                         partitioned_messages());
+    // Silent span loss made visible (ISSUE 9 satellite 1). Emitted
+    // unconditionally — value 0 without a tracer — so traced and untraced
+    // snapshots of the same run stay bit-identical (the equality
+    // obs_determinism_test pins).
+    const obs::Tracer* const tr = obs_.tracer();
+    out.AddCounterValue("obs", "dropped_spans", "",
+                        tr != nullptr ? tr->dropped_count() : 0);
     for (const auto& h : hosts_) {
       out.AddCounterValue("net", "core_busy_ns", h->name,
                           static_cast<uint64_t>(h->cores->total_busy()));

@@ -38,6 +38,9 @@
 
 namespace prism::obs {
 
+class OpTimeline;    // timeline.h
+class TimelineStore;  // timeline.h
+
 class Hub {
  public:
   MetricsRegistry& metrics() { return metrics_; }
@@ -51,6 +54,19 @@ class Hub {
   SpanId current_span() const { return current_; }
   void SetCurrentSpan(SpanId s) {
     if (tracer_ != nullptr) current_ = s;
+  }
+
+  // Current-op register: same write-before-handoff / read-at-entry
+  // discipline as the span register, but for the per-op phase timeline
+  // (timeline.h). The same-value check is not an optimization: untimed runs
+  // only ever pass nullptr, and skipping the redundant store keeps the
+  // shared register write-free under a parallel (metrics-only) ClusterSim,
+  // where host engines run services on worker threads concurrently. Timed
+  // runs always hold the serial engine (Fabric::AttachTracer downgrades),
+  // so the real writes stay single-threaded.
+  OpTimeline* current_op() const { return op_; }
+  void SetCurrentOp(OpTimeline* t) {
+    if (t != op_) op_ = t;
   }
 
   // Opens a span parented to the current span and makes it current.
@@ -75,6 +91,7 @@ class Hub {
   OpAccountant ops_;
   Tracer* tracer_ = nullptr;
   SpanId current_ = 0;
+  OpTimeline* op_ = nullptr;
 };
 
 // Per-simulation observability attachment threaded (optionally) into the
@@ -86,6 +103,11 @@ class Hub {
 struct PointObs {
   Tracer* tracer = nullptr;
   bool want_metrics = false;
+  // Optional per-op phase attribution: when set, the point runner wires the
+  // store through its load pool / clients, and the bench reporter turns it
+  // into results/ATTRIB_*.json + TS_*.json. Owned by the caller (one store
+  // per sweep point, same slot discipline as the tracer).
+  TimelineStore* timelines = nullptr;
   MetricsSnapshot snapshot;
   // Filled by the point runner when a tracer is attached (host id -> name),
   // so the trace writer can label Perfetto processes.

@@ -1,0 +1,47 @@
+// The fixed phase vocabulary for per-op latency attribution, shared by
+// every stack (RDMA verbs, PRISM chains, RPC, sync schemes). See timeline.h
+// for the phase machine that accumulates into these slots.
+//
+// Semantics, one line each:
+//  * backlog_wait — open-loop arrival queue: arrival -> worker pop.
+//  * batch_wait   — doorbell-batch / completion-coalescing flush wait.
+//  * wire         — fabric flight plus NIC-resident server time. One-sided
+//                   RDMA on the hardware backend and hardware-projected
+//                   PRISM chains execute without host-CPU involvement, so
+//                   their server time is indistinguishable from the wire to
+//                   the client and is charged here.
+//  * responder    — server-side *CPU* involvement: the software RDMA
+//                   backend, software/BlueField PRISM deployments, and RPC
+//                   (always).
+//  * retransmit   — loss-recovery backoff between send attempts.
+//  * sync_spin    — lock/lease/seqlock acquisition spin and backoff.
+//  * app          — everything else inside the op body.
+#ifndef PRISM_SRC_OBS_PHASE_H_
+#define PRISM_SRC_OBS_PHASE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace prism::obs {
+
+enum class Phase : uint8_t {
+  kBacklogWait = 0,
+  kBatchWait = 1,
+  kWire = 2,
+  kResponder = 3,
+  kRetransmit = 4,
+  kSyncSpin = 5,
+  kApp = 6,
+};
+
+inline constexpr int kNumPhases = 7;
+
+// Stable lowercase names ("backlog_wait", ...) used in JSON and reports.
+const char* PhaseName(Phase p);
+const char* PhaseName(int index);
+// -1 if `name` is not a phase name.
+int PhaseIndex(std::string_view name);
+
+}  // namespace prism::obs
+
+#endif  // PRISM_SRC_OBS_PHASE_H_

@@ -1,0 +1,97 @@
+#include "src/obs/timeline.h"
+
+#include <algorithm>
+
+namespace prism::obs {
+
+namespace {
+constexpr const char* kPhaseNames[kNumPhases] = {
+    "backlog_wait", "batch_wait", "wire", "responder",
+    "retransmit",   "sync_spin",  "app",
+};
+}  // namespace
+
+const char* PhaseName(Phase p) { return kPhaseNames[static_cast<int>(p)]; }
+
+const char* PhaseName(int index) {
+  return (index >= 0 && index < kNumPhases) ? kPhaseNames[index] : "?";
+}
+
+int PhaseIndex(std::string_view name) {
+  for (int i = 0; i < kNumPhases; i++) {
+    if (name == kPhaseNames[i]) return i;
+  }
+  return -1;
+}
+
+TimelineStore::TimelineStore() : TimelineStore(Options()) {}
+
+TimelineStore::TimelineStore(Options opt)
+    : opt_(opt), ts_(opt.bucket_ns) {}
+
+uint32_t TimelineStore::EnsureClass(std::string_view name) {
+  for (size_t i = 0; i < classes_.size(); i++) {
+    if (classes_[i].name == name) return static_cast<uint32_t>(i);
+  }
+  classes_.emplace_back();
+  classes_.back().name = std::string(name);
+  return static_cast<uint32_t>(classes_.size() - 1);
+}
+
+OpTimeline* TimelineStore::StartOp(uint32_t cls, int64_t now_ns) {
+  pool_.emplace_back();
+  OpTimeline* t = &pool_.back();
+  t->Start(cls, now_ns);
+  started_ops_++;
+  ts_.RecordArrival(now_ns);
+  return t;
+}
+
+void TimelineStore::FinishOp(OpTimeline* t, int64_t now_ns) {
+  if (t == nullptr || !t->started() || t->done()) return;
+  t->Finish(now_ns);
+  // Mirror workload::Recorder's predicate: measured iff the op arrived at or
+  // after the window start and completed at or before its end.
+  if (t->start_ns() < win_start_ || t->end_ns() > win_end_) return;
+  const uint64_t seq = measured_ops_++;
+
+  int64_t phases[kNumPhases];
+  for (int i = 0; i < kNumPhases; i++) phases[i] = t->phase_ns(i);
+  ts_.RecordCompletion(t->end_ns(), t->total_ns(), phases, t->retransmits());
+
+  if (t->cls() >= classes_.size()) return;  // unregistered class: series only
+  ClassAgg& agg = classes_[t->cls()];
+  agg.total.Record(t->total_ns());
+  for (int i = 0; i < kNumPhases; i++) {
+    agg.phase[i].Record(phases[i]);
+    agg.phase_total_ns[i] += phases[i];
+  }
+
+  // Exemplar reservoir over the tail: keep the slowest top_k, ordered
+  // slowest-first with the deterministic (end_ns, seq) tie-break.
+  const auto slower = [](const Exemplar& a, const Exemplar& b) {
+    if (a.total_ns() != b.total_ns()) return a.total_ns() > b.total_ns();
+    if (a.end_ns != b.end_ns) return a.end_ns < b.end_ns;
+    return a.seq < b.seq;
+  };
+  auto& ex = agg.exemplars;
+  const bool full = ex.size() >= opt_.top_k;
+  if (full && ex.back().total_ns() >= t->total_ns()) return;
+  Exemplar e;
+  e.seq = seq;
+  e.cls = t->cls();
+  e.retransmits = t->retransmits();
+  e.start_ns = t->start_ns();
+  e.end_ns = t->end_ns();
+  for (int i = 0; i < kNumPhases; i++) e.phase_ns[i] = phases[i];
+  e.root_span = t->root_span();
+  // Pin the span tree now: a copy taken at capture time survives the
+  // tracer's FIFO eviction of old finished spans.
+  if (tracer_ != nullptr && e.root_span != 0) {
+    tracer_->CollectTree(e.root_span, &e.spans);
+  }
+  ex.insert(std::upper_bound(ex.begin(), ex.end(), e, slower), std::move(e));
+  if (ex.size() > opt_.top_k) ex.pop_back();
+}
+
+}  // namespace prism::obs

@@ -1,0 +1,63 @@
+// Windowed time-series over simulated time: fixed-width buckets of
+// arrivals, completions, per-phase latency sums, and retransmits, fed by
+// TimelineStore as ops start and finish. Serialized to results/TS_*.json by
+// the bench reporter; tools/latency_report plots saturation onset from it.
+//
+// Buckets are keyed by floor(now / bucket_ns) in an ordered map, so sparse
+// runs (long warmup, short measurement window) stay cheap and iteration
+// order is deterministic. Outstanding-op depth is not stored per bucket —
+// it is the running sum of (arrivals - completions), reconstructed by the
+// serializer — so recording stays a pure accumulate.
+#ifndef PRISM_SRC_OBS_TIMESERIES_H_
+#define PRISM_SRC_OBS_TIMESERIES_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/obs/phase.h"
+
+namespace prism::obs {
+
+class TimeSeries {
+ public:
+  struct Bucket {
+    uint64_t arrivals = 0;
+    uint64_t completions = 0;
+    uint64_t retransmits = 0;
+    int64_t total_ns = 0;  // sum of completed-op latencies
+    int64_t phase_ns[kNumPhases] = {0, 0, 0, 0, 0, 0, 0};
+  };
+
+  explicit TimeSeries(int64_t bucket_ns = 50'000) : bucket_ns_(bucket_ns) {}
+
+  int64_t bucket_ns() const { return bucket_ns_; }
+
+  void RecordArrival(int64_t now_ns) { At(now_ns).arrivals++; }
+
+  // Completion-time attribution: the whole op (its latency, phase sums, and
+  // retransmit count) lands in the bucket it completed in.
+  void RecordCompletion(int64_t now_ns, int64_t total_ns,
+                        const int64_t phase_ns[kNumPhases],
+                        uint32_t retransmits) {
+    Bucket& b = At(now_ns);
+    b.completions++;
+    b.retransmits += retransmits;
+    b.total_ns += total_ns;
+    for (int i = 0; i < kNumPhases; i++) b.phase_ns[i] += phase_ns[i];
+  }
+
+  bool empty() const { return buckets_.empty(); }
+  size_t size() const { return buckets_.size(); }
+  // Key -> bucket; key * bucket_ns() is the bucket's start time.
+  const std::map<int64_t, Bucket>& buckets() const { return buckets_; }
+
+ private:
+  Bucket& At(int64_t now_ns) { return buckets_[now_ns / bucket_ns_]; }
+
+  int64_t bucket_ns_;
+  std::map<int64_t, Bucket> buckets_;
+};
+
+}  // namespace prism::obs
+
+#endif  // PRISM_SRC_OBS_TIMESERIES_H_

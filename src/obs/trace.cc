@@ -132,6 +132,23 @@ SpanId Tracer::ParentOf(SpanId id) const {
   return it == open_.end() ? 0 : it->second.parent;
 }
 
+SpanId Tracer::RootOf(SpanId id) const {
+  auto it = open_.find(id);
+  return it == open_.end() ? 0 : it->second.root;
+}
+
+void Tracer::CollectTree(SpanId root, std::vector<SpanRecord>* out) const {
+  if (root == 0 || out == nullptr) return;
+  // Finished spans in completion order, then still-open ones by id — both
+  // deterministic, so pinned exemplar trees replay bit-identically.
+  for (const SpanRecord& s : done_) {
+    if (s.root == root) out->push_back(s);
+  }
+  for (const auto& [id, s] : open_) {
+    if (s.root == root) out->push_back(s);
+  }
+}
+
 std::string Tracer::ToChromeJson(
     const std::vector<std::string>& host_names) const {
   std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
@@ -157,7 +174,10 @@ std::string Tracer::ToChromeJson(
   // Flush still-open spans as zero-length so the file is self-contained
   // (std::map iteration keeps this deterministic).
   for (const auto& [id, s] : open_) emit_span(s, s.start_ns);
-  out += "\n]}\n";
+  // Metadata: how many finished spans the FIFO cap silently evicted. A
+  // nonzero value means the traceEvents window is incomplete (ISSUE 9
+  // satellite 1 — surfaced instead of silent).
+  out += "\n],\"droppedSpans\":" + std::to_string(dropped_) + "}\n";
   return out;
 }
 

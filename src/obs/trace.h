@@ -67,6 +67,15 @@ class Tracer {
   // restore the current-span register on span exit.
   SpanId ParentOf(SpanId id) const;
 
+  // Causal root of a still-open span (0 for unknown/closed) — lets an op
+  // timeline remember which trace tree it belongs to.
+  SpanId RootOf(SpanId id) const;
+
+  // Appends every retained span whose causal root is `root` (finished
+  // spans in completion order, then open ones by id). Callers copy — the
+  // exemplar store pins trees this way, immune to later FIFO eviction.
+  void CollectTree(SpanId root, std::vector<SpanRecord>* out) const;
+
   size_t finished_count() const { return done_.size(); }
   size_t open_count() const { return open_.size(); }
   size_t dropped_count() const { return dropped_; }

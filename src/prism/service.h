@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "src/net/fabric.h"
+#include "src/obs/timeline.h"
 #include "src/prism/executor.h"
 #include "src/prism/freelist.h"
 #include "src/prism/op.h"
@@ -295,6 +296,16 @@ class PrismClient {
                                            TimedOut("prism chain"));
     state->span = fabric_->obs().StartSpan("prism.execute", "prism", self_,
                                            fabric_->sim(self_)->Now());
+    // Capture the current-op register before the first suspension point
+    // (the span-register discipline); the post path is kBatchWait.
+    state->op = fabric_->obs().current_op();
+    if (state->op != nullptr) {
+      if (state->op->root_span() == 0 && state->span != 0 &&
+          fabric_->obs().tracer() != nullptr) {
+        state->op->set_root_span(fabric_->obs().tracer()->RootOf(state->span));
+      }
+      state->op->Switch(obs::Phase::kBatchWait, fabric_->sim(self_)->Now());
+    }
     auto chain_ptr = std::make_shared<const Chain>(std::move(chain));
     if (batcher_ != nullptr) {
       co_await batcher_->Post(&tally_);
@@ -310,11 +321,20 @@ class PrismClient {
     if (server->deployment() != Deployment::kHardwareProjected) {
       tally_.cpu_actions++;
     }
+    obs::SwitchOp(state->op, obs::Phase::kWire, fabric_->sim(self_)->Now());
     fabric_->obs().SetCurrentSpan(state->span);
+    fabric_->obs().SetCurrentOp(state->op);
     fabric_->Send(
         self_, server->host(), req_payload,
         [this, server, chain_ptr = std::move(chain_ptr), state] {
           fabric_->obs().SetCurrentSpan(state->span);
+          // CPU-involvement semantics: SW / BlueField chains burn a core
+          // ("responder"); the projected-hardware ASIC executes inside the
+          // NIC, indistinguishable from the wire to the client.
+          if (server->deployment() != Deployment::kHardwareProjected) {
+            obs::SwitchOp(state->op, obs::Phase::kResponder,
+                          fabric_->sim(server->host())->Now());
+          }
           sim::Spawn([this, server, chain_ptr, state]() -> sim::Task<void> {
             auto results = std::make_shared<ChainResult>();
             co_await server->RunChain(chain_ptr, results);
@@ -322,8 +342,13 @@ class PrismClient {
                                                          *results);
             state->result = std::move(*results);
             state->resp_bytes = resp_bytes;
+            obs::SwitchOp(state->op, obs::Phase::kWire,
+                          fabric_->sim(server->host())->Now());
             fabric_->obs().SetCurrentSpan(state->span);
-            fabric_->Send(server->host(), self_, resp_bytes, [state] {
+            fabric_->obs().SetCurrentOp(state->op);
+            fabric_->Send(server->host(), self_, resp_bytes, [this, state] {
+              obs::SwitchOp(state->op, obs::Phase::kBatchWait,
+                            fabric_->sim(self_)->Now());
               if (!state->done.is_set()) {
                 state->responded = true;
                 state->done.Set();
@@ -346,6 +371,10 @@ class PrismClient {
       tally_.round_trips++;
       tally_.bytes_in += state->resp_bytes;
     }
+    obs::SwitchOp(state->op, obs::Phase::kApp, fabric_->sim(self_)->Now());
+    // Restore the register before returning: the caller resumes
+    // synchronously from here, so its next verb captures the right op.
+    fabric_->obs().SetCurrentOp(state->op);
     fabric_->obs().FinishSpan(state->span, fabric_->sim(self_)->Now());
     co_return std::move(state->result);
   }
@@ -367,6 +396,7 @@ class PrismClient {
     sim::Event done;
     Result<ChainResult> result;
     obs::SpanId span = 0;
+    obs::OpTimeline* op = nullptr;  // phase timeline (null when untimed)
     size_t resp_bytes = 0;
     bool responded = false;
     void Finish(Status s) {

@@ -32,6 +32,13 @@
 // per-pool) state shared by the clients on that host; with
 // doorbell_batch == 1 and cq_moderation == 1 the charged costs equal the
 // unbatched path (one ring, one drain, full cost per op).
+//
+// Latency attribution (src/obs/timeline.h): the batcher itself stamps no
+// phases. Every client enters Phase::kBatchWait before awaiting Post and
+// leaves it when the fabric Send happens (request side) / when the op
+// resumes past Complete (response side), so both the flush wait modeled
+// here and the flat unbatched post/poll costs land in `batch_wait` without
+// the batcher knowing whether an op is being timed.
 #ifndef PRISM_SRC_RDMA_BATCH_H_
 #define PRISM_SRC_RDMA_BATCH_H_
 

@@ -27,6 +27,7 @@
 
 #include "src/common/status.h"
 #include "src/net/fabric.h"
+#include "src/obs/timeline.h"
 #include "src/rdma/batch.h"
 #include "src/rdma/memory.h"
 #include "src/rdma/verbs.h"
@@ -155,12 +156,19 @@ class RdmaClient {
                                                   TimedOut("rdma read"));
     state->span = fabric_->obs().StartSpan("rdma.read", "rdma", self_,
                                            fabric_->sim(self_)->Now());
+    BeginOp(state);
     co_await PostGate();
     PreSend(svc, state, 16);
     fabric_->Send(
         self_, svc->host(), /*payload=*/16,
         [this, svc, rkey, addr, len, state] {
           fabric_->obs().SetCurrentSpan(state->span);
+          // CPU-involvement semantics: only the software stack's server
+          // time is "responder"; the hardware NIC path stays on the wire.
+          if (svc->backend() == Backend::kSoftwareStack) {
+            obs::SwitchOp(state->op, obs::Phase::kResponder,
+                          fabric_->sim(svc->host())->Now());
+          }
           sim::Spawn([this, svc, rkey, addr, len, state]() -> sim::Task<void> {
             auto gate = svc->AtomicGate(self_);
             if (gate != nullptr) co_await gate->Wait();
@@ -180,6 +188,7 @@ class RdmaClient {
                                                   TimedOut("rdma write"));
     state->span = fabric_->obs().StartSpan("rdma.write", "rdma", self_,
                                            fabric_->sim(self_)->Now());
+    BeginOp(state);
     co_await PostGate();
     const size_t req_payload = 16 + data.size();
     auto payload = std::make_shared<Bytes>(std::move(data));
@@ -188,6 +197,12 @@ class RdmaClient {
         self_, svc->host(), req_payload,
         [this, svc, rkey, addr, payload = std::move(payload), state] {
           fabric_->obs().SetCurrentSpan(state->span);
+          // CPU-involvement semantics: only the software stack's server
+          // time is "responder"; the hardware NIC path stays on the wire.
+          if (svc->backend() == Backend::kSoftwareStack) {
+            obs::SwitchOp(state->op, obs::Phase::kResponder,
+                          fabric_->sim(svc->host())->Now());
+          }
           sim::Spawn([this, svc, rkey, addr, payload,
                       state]() -> sim::Task<void> {
             auto gate = svc->AtomicGate(self_);
@@ -214,12 +229,19 @@ class RdmaClient {
                                                      TimedOut("rdma cas"));
     state->span = fabric_->obs().StartSpan("rdma.cas", "rdma", self_,
                                            fabric_->sim(self_)->Now());
+    BeginOp(state);
     co_await PostGate();
     PreSend(svc, state, 32);
     fabric_->Send(
         self_, svc->host(), /*payload=*/32,
         [this, svc, rkey, addr, compare, swap, state] {
           fabric_->obs().SetCurrentSpan(state->span);
+          // CPU-involvement semantics: only the software stack's server
+          // time is "responder"; the hardware NIC path stays on the wire.
+          if (svc->backend() == Backend::kSoftwareStack) {
+            obs::SwitchOp(state->op, obs::Phase::kResponder,
+                          fabric_->sim(svc->host())->Now());
+          }
           sim::Spawn([this, svc, rkey, addr, compare, swap,
                       state]() -> sim::Task<void> {
             auto ticket = svc->AtomicBegin(self_);
@@ -244,12 +266,19 @@ class RdmaClient {
                                                      TimedOut("rdma faa"));
     state->span = fabric_->obs().StartSpan("rdma.faa", "rdma", self_,
                                            fabric_->sim(self_)->Now());
+    BeginOp(state);
     co_await PostGate();
     PreSend(svc, state, 24);
     fabric_->Send(
         self_, svc->host(), /*payload=*/24,
         [this, svc, rkey, addr, delta, state] {
           fabric_->obs().SetCurrentSpan(state->span);
+          // CPU-involvement semantics: only the software stack's server
+          // time is "responder"; the hardware NIC path stays on the wire.
+          if (svc->backend() == Backend::kSoftwareStack) {
+            obs::SwitchOp(state->op, obs::Phase::kResponder,
+                          fabric_->sim(svc->host())->Now());
+          }
           sim::Spawn(
               [this, svc, rkey, addr, delta, state]() -> sim::Task<void> {
                 auto ticket = svc->AtomicBegin(self_);
@@ -277,6 +306,7 @@ class RdmaClient {
         fabric_->sim(self_), TimedOut("rdma masked cas"));
     state->span = fabric_->obs().StartSpan("rdma.masked_cas", "rdma", self_,
                                            fabric_->sim(self_)->Now());
+    BeginOp(state);
     co_await PostGate();
     const size_t req_payload = 16 + 3 * data.size();
     const size_t width = data.size();
@@ -291,6 +321,12 @@ class RdmaClient {
         self_, svc->host(), req_payload,
         [this, svc, rkey, addr, args = std::move(args), mode, state, width] {
           fabric_->obs().SetCurrentSpan(state->span);
+          // CPU-involvement semantics: only the software stack's server
+          // time is "responder"; the hardware NIC path stays on the wire.
+          if (svc->backend() == Backend::kSoftwareStack) {
+            obs::SwitchOp(state->op, obs::Phase::kResponder,
+                          fabric_->sim(svc->host())->Now());
+          }
           sim::Spawn([this, svc, rkey, addr, args, mode, state,
                       width]() -> sim::Task<void> {
             auto ticket = svc->AtomicBegin(self_);
@@ -318,6 +354,7 @@ class RdmaClient {
     sim::Event done;
     Result<T> result;
     obs::SpanId span = 0;
+    obs::OpTimeline* op = nullptr;  // phase timeline (null when untimed)
     size_t resp_bytes = 0;
     bool responded = false;
     void Finish(Status s) {
@@ -327,6 +364,22 @@ class RdmaClient {
       }
     }
   };
+
+  // Verb-entry attribution: captures the current-op register (armed by the
+  // caller with no suspension point in between — the span-register
+  // discipline) and enters kBatchWait, which covers the post path up to the
+  // wire handoff (flat client_post or the doorbell-batch flush wait).
+  template <typename T>
+  void BeginOp(const std::shared_ptr<OpState<T>>& state) {
+    obs::Hub& hub = fabric_->obs();
+    state->op = hub.current_op();
+    if (state->op == nullptr) return;
+    if (state->op->root_span() == 0 && state->span != 0 &&
+        hub.tracer() != nullptr) {
+      state->op->set_root_span(hub.tracer()->RootOf(state->span));
+    }
+    state->op->Switch(obs::Phase::kBatchWait, fabric_->sim(self_)->Now());
+  }
 
   // Post-side gate every verb awaits before handing its WR to the fabric.
   // Unbatched: a flat client_post and one doorbell ring per WR. Batched: the
@@ -361,15 +414,24 @@ class RdmaClient {
     tally_.messages++;
     tally_.bytes_out += req_bytes;
     if (svc->backend() == Backend::kSoftwareStack) tally_.cpu_actions++;
+    obs::SwitchOp(state->op, obs::Phase::kWire, fabric_->sim(self_)->Now());
     fabric_->obs().SetCurrentSpan(state->span);
+    fabric_->obs().SetCurrentOp(state->op);
   }
 
   template <typename T>
   void Respond(RdmaService* svc, std::shared_ptr<OpState<T>> state,
                size_t payload) {
     state->resp_bytes = payload;
+    obs::SwitchOp(state->op, obs::Phase::kWire,
+                  fabric_->sim(svc->host())->Now());
     fabric_->obs().SetCurrentSpan(state->span);
-    fabric_->Send(svc->host(), self_, payload, [state] {
+    fabric_->obs().SetCurrentOp(state->op);
+    fabric_->Send(svc->host(), self_, payload, [this, state] {
+      // Response delivered: the client-side completion path (CQ poll or
+      // coalesced drain) starts here.
+      obs::SwitchOp(state->op, obs::Phase::kBatchWait,
+                    fabric_->sim(self_)->Now());
       if (!state->done.is_set()) {
         state->responded = true;
         state->done.Set();
@@ -389,6 +451,10 @@ class RdmaClient {
       tally_.round_trips++;
       tally_.bytes_in += state->resp_bytes;
     }
+    obs::SwitchOp(state->op, obs::Phase::kApp, fabric_->sim(self_)->Now());
+    // Restore the register before returning: the caller resumes
+    // synchronously from here, so its next verb captures the right op.
+    fabric_->obs().SetCurrentOp(state->op);
     fabric_->obs().FinishSpan(state->span, fabric_->sim(self_)->Now());
     co_return std::move(state->result);
   }

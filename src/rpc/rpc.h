@@ -19,6 +19,7 @@
 
 #include "src/common/status.h"
 #include "src/net/fabric.h"
+#include "src/obs/timeline.h"
 #include "src/rdma/batch.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
@@ -151,6 +152,16 @@ class RpcClient {
     auto state = std::make_shared<CallState>(fabric_->sim(self_));
     state->span = fabric_->obs().StartSpan("rpc.call", "rpc", self_,
                                            fabric_->sim(self_)->Now());
+    // Capture the current-op register before the first suspension point
+    // (the span-register discipline); the post path is kBatchWait.
+    state->op = fabric_->obs().current_op();
+    if (state->op != nullptr) {
+      if (state->op->root_span() == 0 && state->span != 0 &&
+          fabric_->obs().tracer() != nullptr) {
+        state->op->set_root_span(fabric_->obs().tracer()->RootOf(state->span));
+      }
+      state->op->Switch(obs::Phase::kBatchWait, fabric_->sim(self_)->Now());
+    }
     if (batcher_ != nullptr) {
       co_await batcher_->Post(&tally_);
     } else {
@@ -161,19 +172,30 @@ class RpcClient {
     tally_.messages++;
     tally_.bytes_out += req_wire;
     tally_.cpu_actions++;  // every RPC consumes a server core
+    obs::SwitchOp(state->op, obs::Phase::kWire, fabric_->sim(self_)->Now());
     fabric_->obs().SetCurrentSpan(state->span);
+    fabric_->obs().SetCurrentOp(state->op);
     fabric_->Send(
         self_, server->host(), req_wire,
         [this, server, method, request_ptr = std::move(request_ptr), state] {
           fabric_->obs().SetCurrentSpan(state->span);
+          // Every RPC burns a server core: delivery-to-response is
+          // "responder" by definition.
+          obs::SwitchOp(state->op, obs::Phase::kResponder,
+                        fabric_->sim(server->host())->Now());
           sim::Spawn([this, server, method, request_ptr,
                       state]() -> sim::Task<void> {
             MessagePtr response = co_await server->Serve(method, request_ptr);
             const size_t resp_wire = response ? response->wire_bytes() : 0;
             state->response = std::move(response);
             state->resp_bytes = resp_wire;
+            obs::SwitchOp(state->op, obs::Phase::kWire,
+                          fabric_->sim(server->host())->Now());
             fabric_->obs().SetCurrentSpan(state->span);
-            fabric_->Send(server->host(), self_, resp_wire, [state] {
+            fabric_->obs().SetCurrentOp(state->op);
+            fabric_->Send(server->host(), self_, resp_wire, [this, state] {
+              obs::SwitchOp(state->op, obs::Phase::kBatchWait,
+                            fabric_->sim(self_)->Now());
               if (!state->done.is_set()) {
                 state->responded = true;
                 state->done.Set();
@@ -196,6 +218,10 @@ class RpcClient {
       tally_.round_trips++;
       tally_.bytes_in += state->resp_bytes;
     }
+    obs::SwitchOp(state->op, obs::Phase::kApp, fabric_->sim(self_)->Now());
+    // Restore the register before returning: the caller resumes
+    // synchronously from here, so its next call captures the right op.
+    fabric_->obs().SetCurrentOp(state->op);
     fabric_->obs().FinishSpan(state->span, fabric_->sim(self_)->Now());
     if (!state->error.ok()) co_return state->error;
     co_return std::move(state->response);
@@ -208,6 +234,7 @@ class RpcClient {
     MessagePtr response;
     Status error;
     obs::SpanId span = 0;
+    obs::OpTimeline* op = nullptr;  // phase timeline (null when untimed)
     size_t resp_bytes = 0;
     bool responded = false;
     void Finish(Status s) {

@@ -171,16 +171,19 @@ obs::TransportTally SyncClient::tally() const {
   return rdma_.tally() + prism_.tally();
 }
 
-sim::Task<void> SyncClient::Backoff(int attempt) {
+sim::Task<void> SyncClient::Backoff(int attempt, obs::OpTimeline* op) {
   sim::Duration d = std::min<sim::Duration>(
       server_->options().backoff_cap,
       server_->options().backoff_base << std::min(attempt, 6));
   d += static_cast<sim::Duration>(
       rng_.NextBelow(static_cast<uint64_t>(d) / 2 + 1));
+  obs::SwitchOp(op, obs::Phase::kSyncSpin, fabric_->sim(self_)->Now());
   co_await sim::SleepFor(fabric_->sim(self_), d);
+  obs::SwitchOp(op, obs::Phase::kApp, fabric_->sim(self_)->Now());
 }
 
-sim::Task<Result<uint64_t>> SyncClient::LocateSlot(uint64_t key) {
+sim::Task<Result<uint64_t>> SyncClient::LocateSlot(uint64_t key,
+                                                  obs::OpTimeline* op) {
   auto it = slot_cache_.find(key);
   if (it != slot_cache_.end()) co_return it->second;
   // Branch, don't ternary: co_await inside a conditional expression
@@ -188,20 +191,22 @@ sim::Task<Result<uint64_t>> SyncClient::LocateSlot(uint64_t key) {
   // twice, corrupting the coroutine frame).
   Result<uint64_t> slot = NotFound("unprobed");
   if (scheme_ == SyncScheme::kPrismNative) {
-    slot = co_await ProbeChain(key);
+    slot = co_await ProbeChain(key, op);
   } else {
-    slot = co_await ProbeVerbs(key);
+    slot = co_await ProbeVerbs(key, op);
   }
   if (slot.ok()) slot_cache_[key] = *slot;
   co_return slot;
 }
 
-sim::Task<Result<uint64_t>> SyncClient::ProbeVerbs(uint64_t key) {
+sim::Task<Result<uint64_t>> SyncClient::ProbeVerbs(uint64_t key,
+                                                   obs::OpTimeline* op) {
   const SyncOptions& opts = server_->options();
   const uint64_t home = server_->HashSlot(key);
   for (int p = 0; p < opts.max_probes; ++p) {
     const uint64_t slot = (home + p) & (opts.n_slots - 1);
     probe_rounds_++;
+    Arm(op);
     auto r = co_await rdma_.Read(&server_->rdma(), server_->rkey(),
                                  server_->slot_addr(slot) + kKeyOff, 8);
     round_trips_++;
@@ -215,7 +220,8 @@ sim::Task<Result<uint64_t>> SyncClient::ProbeVerbs(uint64_t key) {
 
 // PRISM probe: one chain READs every candidate key word of the linear-probe
 // window in a single round trip.
-sim::Task<Result<uint64_t>> SyncClient::ProbeChain(uint64_t key) {
+sim::Task<Result<uint64_t>> SyncClient::ProbeChain(uint64_t key,
+                                                   obs::OpTimeline* op) {
   const SyncOptions& opts = server_->options();
   const uint64_t home = server_->HashSlot(key);
   core::Chain chain;
@@ -225,6 +231,7 @@ sim::Task<Result<uint64_t>> SyncClient::ProbeChain(uint64_t key) {
                              server_->slot_addr(slot) + kKeyOff, 8));
   }
   probe_rounds_++;
+  Arm(op);
   auto r = co_await prism_.Execute(&server_->prism(), std::move(chain));
   round_trips_++;
   if (!r.ok()) co_return r.status();
@@ -240,26 +247,39 @@ sim::Task<Result<uint64_t>> SyncClient::ProbeChain(uint64_t key) {
 
 // ---- spinlock-word helpers ----
 
-sim::Task<Result<uint64_t>> SyncClient::AcquireSpin(rdma::Addr slot) {
+sim::Task<Result<uint64_t>> SyncClient::AcquireSpin(rdma::Addr slot,
+                                                   obs::OpTimeline* op) {
   const SyncOptions& opts = server_->options();
   for (int attempt = 0; attempt < opts.max_attempts; ++attempt) {
+    // The first CAS is the acquisition any scheme would pay (wire); every
+    // retry is remote lock polling, so its whole round trip bills to
+    // sync_spin: stamp the phase and leave the verb un-armed.
+    if (attempt == 0) {
+      Arm(op);
+    } else {
+      obs::SwitchOp(op, obs::Phase::kSyncSpin, fabric_->sim(self_)->Now());
+      Arm(nullptr);
+    }
     auto old = co_await rdma_.CompareSwap(&server_->rdma(), server_->rkey(),
                                           slot + kLockOff, 0, id_);
     round_trips_++;
     if (old.ok() && *old == 0) co_return static_cast<uint64_t>(id_);
     if (old.ok()) lock_conflicts_++;
-    co_await Backoff(attempt);
+    co_await Backoff(attempt, op);
   }
   co_return Aborted("spinlock: could not acquire");
 }
 
-sim::Task<void> SyncClient::ReleaseSpin(rdma::Addr slot) {
+sim::Task<void> SyncClient::ReleaseSpin(rdma::Addr slot,
+                                        obs::OpTimeline* op) {
+  Arm(op);
   (void)co_await rdma_.Write(&server_->rdma(), server_->rkey(),
                              slot + kLockOff, Word(0));
   round_trips_++;
 }
 
-sim::Task<Result<uint64_t>> SyncClient::AcquireLease(rdma::Addr slot) {
+sim::Task<Result<uint64_t>> SyncClient::AcquireLease(rdma::Addr slot,
+                                                     obs::OpTimeline* op) {
   const SyncOptions& opts = server_->options();
   const uint64_t term_us =
       static_cast<uint64_t>(opts.lease_term) / 1000;
@@ -267,6 +287,14 @@ sim::Task<Result<uint64_t>> SyncClient::AcquireLease(rdma::Addr slot) {
     const uint64_t now_us =
         static_cast<uint64_t>(fabric_->sim(self_)->Now()) / 1000;
     const uint64_t mine = PackLease(id_, now_us + term_us);
+    // Same attribution rule as AcquireSpin: first attempt is wire, retries
+    // (including their steal CASes) are lock polling billed to sync_spin.
+    if (attempt == 0) {
+      Arm(op);
+    } else {
+      obs::SwitchOp(op, obs::Phase::kSyncSpin, fabric_->sim(self_)->Now());
+      Arm(nullptr);
+    }
     auto old = co_await rdma_.CompareSwap(&server_->rdma(), server_->rkey(),
                                           slot + kLockOff, 0, mine);
     round_trips_++;
@@ -276,6 +304,7 @@ sim::Task<Result<uint64_t>> SyncClient::AcquireLease(rdma::Addr slot) {
       if (fabric_->sim(self_)->Now() > LeaseExpiryNs(seen)) {
         // Expired: steal with a CAS conditioned on the exact stale word, so
         // concurrent stealers can't both win.
+        if (attempt == 0) Arm(op);
         auto stolen = co_await rdma_.CompareSwap(
             &server_->rdma(), server_->rkey(), slot + kLockOff, seen, mine);
         round_trips_++;
@@ -286,15 +315,16 @@ sim::Task<Result<uint64_t>> SyncClient::AcquireLease(rdma::Addr slot) {
       }
       lock_conflicts_++;
     }
-    co_await Backoff(attempt);
+    co_await Backoff(attempt, op);
   }
   co_return Aborted("lease: could not acquire");
 }
 
-sim::Task<void> SyncClient::ReleaseLease(rdma::Addr slot,
-                                         uint64_t lease_word) {
+sim::Task<void> SyncClient::ReleaseLease(rdma::Addr slot, uint64_t lease_word,
+                                         obs::OpTimeline* op) {
   // CAS, not WRITE: if the lease was stolen after expiry the release must
   // fail harmlessly instead of clobbering the successor's lease.
+  Arm(op);
   (void)co_await rdma_.CompareSwap(&server_->rdma(), server_->rkey(),
                                    slot + kLockOff, lease_word, 0);
   round_trips_++;
@@ -302,29 +332,30 @@ sim::Task<void> SyncClient::ReleaseLease(rdma::Addr slot,
 
 // ---- per-scheme updates ----
 
-sim::Task<SyncClient::UpdateOutcome> SyncClient::UpdateLocked(rdma::Addr slot,
-                                                              Bytes value) {
-  Status acq = (co_await AcquireSpin(slot)).status();
+sim::Task<SyncClient::UpdateOutcome> SyncClient::UpdateLocked(
+    rdma::Addr slot, Bytes value, obs::OpTimeline* op) {
+  Status acq = (co_await AcquireSpin(slot, op)).status();
   if (!acq.ok()) co_return UpdateOutcome{acq, Applied::kNo};
   if (critical_stall_ > 0) {
     co_await sim::SleepFor(fabric_->sim(self_), critical_stall_);
   }
+  Arm(op);
   Status s = co_await rdma_.Write(&server_->rdma(), server_->rkey(),
                                   slot + kValueOff, std::move(value));
   round_trips_++;
-  co_await ReleaseSpin(slot);
+  co_await ReleaseSpin(slot, op);
   if (s.ok()) co_return UpdateOutcome{OkStatus(), Applied::kYes};
   co_return UpdateOutcome{
       s, s.code() == Code::kUnavailable ? Applied::kNo : Applied::kMaybe};
 }
 
-sim::Task<SyncClient::UpdateOutcome> SyncClient::UpdateLease(rdma::Addr slot,
-                                                             Bytes value) {
+sim::Task<SyncClient::UpdateOutcome> SyncClient::UpdateLease(
+    rdma::Addr slot, Bytes value, obs::OpTimeline* op) {
   const SyncOptions& opts = server_->options();
   // A fencing abort is a failed attempt: release (if still ours) and retry
   // with a fresh lease.
   for (int round = 0; round < 4; ++round) {
-    auto lease = co_await AcquireLease(slot);
+    auto lease = co_await AcquireLease(slot, op);
     if (!lease.ok()) co_return UpdateOutcome{lease.status(), Applied::kNo};
     if (critical_stall_ > 0) {
       co_await sim::SleepFor(fabric_->sim(self_), critical_stall_);
@@ -335,13 +366,14 @@ sim::Task<SyncClient::UpdateOutcome> SyncClient::UpdateLease(rdma::Addr slot,
     if (fabric_->sim(self_)->Now() + opts.lease_guard >=
         LeaseExpiryNs(*lease)) {
       fencing_aborts_++;
-      co_await ReleaseLease(slot, *lease);
+      co_await ReleaseLease(slot, *lease, op);
       continue;
     }
+    Arm(op);
     Status s = co_await rdma_.Write(&server_->rdma(), server_->rkey(),
                                     slot + kValueOff, value);
     round_trips_++;
-    co_await ReleaseLease(slot, *lease);
+    co_await ReleaseLease(slot, *lease, op);
     if (s.ok()) co_return UpdateOutcome{OkStatus(), Applied::kYes};
     co_return UpdateOutcome{
         s, s.code() == Code::kUnavailable ? Applied::kNo : Applied::kMaybe};
@@ -350,22 +382,24 @@ sim::Task<SyncClient::UpdateOutcome> SyncClient::UpdateLease(rdma::Addr slot,
 }
 
 sim::Task<SyncClient::UpdateOutcome> SyncClient::UpdateOptimistic(
-    rdma::Addr slot, Bytes value) {
+    rdma::Addr slot, Bytes value, obs::OpTimeline* op) {
   const SyncOptions& opts = server_->options();
   for (int attempt = 0; attempt < opts.max_attempts; ++attempt) {
+    Arm(op);
     auto vr = co_await rdma_.Read(&server_->rdma(), server_->rkey(),
                                   slot + kVersionOff, 8);
     round_trips_++;
     if (!vr.ok()) {
-      co_await Backoff(attempt);
+      co_await Backoff(attempt, op);
       continue;
     }
     const uint64_t v = LoadU64(vr->data());
     if (v & 1) {  // writer in progress
       lock_conflicts_++;
-      co_await Backoff(attempt);
+      co_await Backoff(attempt, op);
       continue;
     }
+    Arm(op);
     auto cas = co_await rdma_.CompareSwap(&server_->rdma(), server_->rkey(),
                                           slot + kVersionOff, v, v + 1);
     round_trips_++;
@@ -376,12 +410,13 @@ sim::Task<SyncClient::UpdateOutcome> SyncClient::UpdateOptimistic(
     }
     if (*cas != v) {
       lock_conflicts_++;
-      co_await Backoff(attempt);
+      co_await Backoff(attempt, op);
       continue;
     }
     if (critical_stall_ > 0) {
       co_await sim::SleepFor(fabric_->sim(self_), critical_stall_);
     }
+    Arm(op);
     Status s = co_await rdma_.Write(&server_->rdma(), server_->rkey(),
                                     slot + kValueOff, std::move(value));
     round_trips_++;
@@ -389,6 +424,7 @@ sim::Task<SyncClient::UpdateOutcome> SyncClient::UpdateOptimistic(
       co_return UpdateOutcome{
           s, s.code() == Code::kUnavailable ? Applied::kNo : Applied::kMaybe};
     }
+    Arm(op);
     (void)co_await rdma_.Write(&server_->rdma(), server_->rkey(),
                                slot + kVersionOff, Word(v + 2));
     round_trips_++;
@@ -399,8 +435,8 @@ sim::Task<SyncClient::UpdateOutcome> SyncClient::UpdateOptimistic(
 
 // PRISM-native: lock + write + unlock fused into one conditional chain —
 // one round trip per attempt, vs the spinlock's three.
-sim::Task<SyncClient::UpdateOutcome> SyncClient::UpdatePrism(rdma::Addr slot,
-                                                             Bytes value) {
+sim::Task<SyncClient::UpdateOutcome> SyncClient::UpdatePrism(
+    rdma::Addr slot, Bytes value, obs::OpTimeline* op) {
   const SyncOptions& opts = server_->options();
   for (int attempt = 0; attempt < opts.max_attempts; ++attempt) {
     core::Chain chain;
@@ -411,6 +447,7 @@ sim::Task<SyncClient::UpdateOutcome> SyncClient::UpdatePrism(rdma::Addr slot,
         Op::Write(server_->rkey(), slot + kValueOff, value).Conditional());
     chain.push_back(
         Op::Write(server_->rkey(), slot + kLockOff, Word(0)).Conditional());
+    Arm(op);
     auto r = co_await prism_.Execute(&server_->prism(), std::move(chain));
     round_trips_++;
     if (!r.ok()) co_return UpdateOutcome{r.status(), Applied::kMaybe};
@@ -421,7 +458,7 @@ sim::Task<SyncClient::UpdateOutcome> SyncClient::UpdatePrism(rdma::Addr slot,
       co_return UpdateOutcome{(*r)[1].status, Applied::kMaybe};
     }
     lock_conflicts_++;
-    co_await Backoff(attempt);
+    co_await Backoff(attempt, op);
   }
   co_return UpdateOutcome{Aborted("prism: could not acquire"), Applied::kNo};
 }
@@ -432,8 +469,8 @@ sim::Task<SyncClient::UpdateOutcome> SyncClient::UpdatePrism(rdma::Addr slot,
 // order; a bounded reordering that delays one half past the unlock lets the
 // next lock holder interleave with the torn write.
 sim::Task<SyncClient::UpdateOutcome> SyncClient::UpdateUnfenced(
-    rdma::Addr slot, Bytes value) {
-  Status acq = (co_await AcquireSpin(slot)).status();
+    rdma::Addr slot, Bytes value, obs::OpTimeline* op) {
+  Status acq = (co_await AcquireSpin(slot, op)).status();
   if (!acq.ok()) co_return UpdateOutcome{acq, Applied::kNo};
   if (critical_stall_ > 0) {
     co_await sim::SleepFor(fabric_->sim(self_), critical_stall_);
@@ -445,21 +482,27 @@ sim::Task<SyncClient::UpdateOutcome> SyncClient::UpdateUnfenced(
   auto all = std::make_shared<sim::Quorum>(fabric_->sim(self_), 3, 3);
   const uint64_t lo = LoadU64(value.data());
   const uint64_t hi = LoadU64(value.data() + 8);
-  sim::Spawn([this, slot, lo, st, all]() -> sim::Task<void> {
+  // The pipelined verbs run concurrently against ONE op timeline: each
+  // re-arms before posting, so phase attribution is last-stamp-wins here —
+  // the telescoping sum stays exact regardless.
+  sim::Spawn([this, slot, lo, st, all, op]() -> sim::Task<void> {
+    Arm(op);
     st->lo = co_await rdma_.Write(&server_->rdma(), server_->rkey(),
                                   slot + kValueOff, Word(lo));
     round_trips_++;
     all->Arrive(true);
   });
   co_await sim::SleepFor(fabric_->sim(self_), sim::Nanos(80));
-  sim::Spawn([this, slot, hi, st, all]() -> sim::Task<void> {
+  sim::Spawn([this, slot, hi, st, all, op]() -> sim::Task<void> {
+    Arm(op);
     st->hi = co_await rdma_.Write(&server_->rdma(), server_->rkey(),
                                   slot + kValueOff + 8, Word(hi));
     round_trips_++;
     all->Arrive(true);
   });
   co_await sim::SleepFor(fabric_->sim(self_), sim::Nanos(80));
-  sim::Spawn([this, slot, all]() -> sim::Task<void> {
+  sim::Spawn([this, slot, all, op]() -> sim::Task<void> {
+    Arm(op);
     (void)co_await rdma_.Write(&server_->rdma(), server_->rkey(),
                                slot + kLockOff, Word(0));
     round_trips_++;
@@ -477,58 +520,66 @@ sim::Task<SyncClient::UpdateOutcome> SyncClient::UpdateUnfenced(
 
 // ---- per-scheme reads ----
 
-sim::Task<Result<Bytes>> SyncClient::ReadLocked(rdma::Addr slot) {
-  Status acq = (co_await AcquireSpin(slot)).status();
+sim::Task<Result<Bytes>> SyncClient::ReadLocked(rdma::Addr slot,
+                                                obs::OpTimeline* op) {
+  Status acq = (co_await AcquireSpin(slot, op)).status();
   if (!acq.ok()) co_return acq;
   if (critical_stall_ > 0) {
     co_await sim::SleepFor(fabric_->sim(self_), critical_stall_);
   }
+  Arm(op);
   auto r = co_await rdma_.Read(&server_->rdma(), server_->rkey(),
                                slot + kValueOff, kValueSize);
   round_trips_++;
-  co_await ReleaseSpin(slot);
+  co_await ReleaseSpin(slot, op);
   co_return r;
 }
 
-sim::Task<Result<Bytes>> SyncClient::ReadLease(rdma::Addr slot) {
-  auto lease = co_await AcquireLease(slot);
+sim::Task<Result<Bytes>> SyncClient::ReadLease(rdma::Addr slot,
+                                               obs::OpTimeline* op) {
+  auto lease = co_await AcquireLease(slot, op);
   if (!lease.ok()) co_return lease.status();
   if (critical_stall_ > 0) {
     co_await sim::SleepFor(fabric_->sim(self_), critical_stall_);
   }
+  Arm(op);
   auto r = co_await rdma_.Read(&server_->rdma(), server_->rkey(),
                                slot + kValueOff, kValueSize);
   round_trips_++;
-  co_await ReleaseLease(slot, *lease);
+  co_await ReleaseLease(slot, *lease, op);
   co_return r;
 }
 
-sim::Task<Result<Bytes>> SyncClient::ReadOptimistic(rdma::Addr slot) {
+sim::Task<Result<Bytes>> SyncClient::ReadOptimistic(rdma::Addr slot,
+                                                    obs::OpTimeline* op) {
   const SyncOptions& opts = server_->options();
   for (int attempt = 0; attempt < opts.max_attempts; ++attempt) {
+    Arm(op);
     auto v1r = co_await rdma_.Read(&server_->rdma(), server_->rkey(),
                                    slot + kVersionOff, 8);
     round_trips_++;
     if (!v1r.ok()) {
-      co_await Backoff(attempt);
+      co_await Backoff(attempt, op);
       continue;
     }
     const uint64_t v1 = LoadU64(v1r->data());
     if (v1 & 1) {
       optimistic_retries_++;
-      co_await Backoff(attempt);
+      co_await Backoff(attempt, op);
       continue;
     }
     if (critical_stall_ > 0) {
       co_await sim::SleepFor(fabric_->sim(self_), critical_stall_);
     }
+    Arm(op);
     auto val = co_await rdma_.Read(&server_->rdma(), server_->rkey(),
                                    slot + kValueOff, kValueSize);
     round_trips_++;
     if (!val.ok()) {
-      co_await Backoff(attempt);
+      co_await Backoff(attempt, op);
       continue;
     }
+    Arm(op);
     auto v2r = co_await rdma_.Read(&server_->rdma(), server_->rkey(),
                                    slot + kVersionOff, 8);
     round_trips_++;
@@ -538,7 +589,8 @@ sim::Task<Result<Bytes>> SyncClient::ReadOptimistic(rdma::Addr slot) {
   co_return Aborted("optimistic: read validation kept failing");
 }
 
-sim::Task<Result<Bytes>> SyncClient::ReadPrism(rdma::Addr slot) {
+sim::Task<Result<Bytes>> SyncClient::ReadPrism(rdma::Addr slot,
+                                               obs::OpTimeline* op) {
   const SyncOptions& opts = server_->options();
   for (int attempt = 0; attempt < opts.max_attempts; ++attempt) {
     core::Chain chain;
@@ -549,6 +601,7 @@ sim::Task<Result<Bytes>> SyncClient::ReadPrism(rdma::Addr slot) {
                         .Conditional());
     chain.push_back(
         Op::Write(server_->rkey(), slot + kLockOff, Word(0)).Conditional());
+    Arm(op);
     auto r = co_await prism_.Execute(&server_->prism(), std::move(chain));
     round_trips_++;
     if (!r.ok()) co_return r.status();
@@ -557,7 +610,7 @@ sim::Task<Result<Bytes>> SyncClient::ReadPrism(rdma::Addr slot) {
       co_return (*r)[1].status;
     }
     lock_conflicts_++;
-    co_await Backoff(attempt);
+    co_await Backoff(attempt, op);
   }
   co_return Aborted("prism: could not acquire");
 }
@@ -571,7 +624,8 @@ sim::Task<Result<Bytes>> SyncClient::ReadPrism(rdma::Addr slot) {
 // failed the reads are discarded. But the reads are NOT fenced on the CAS,
 // so a bounded reordering can slide them around it — and around a previous
 // holder's still-unfenced value writes — observing torn values.
-sim::Task<Result<Bytes>> SyncClient::ReadUnfenced(rdma::Addr slot) {
+sim::Task<Result<Bytes>> SyncClient::ReadUnfenced(rdma::Addr slot,
+                                                  obs::OpTimeline* op) {
   const SyncOptions& opts = server_->options();
   for (int attempt = 0; attempt < opts.max_attempts; ++attempt) {
     struct Pipelined {
@@ -581,21 +635,24 @@ sim::Task<Result<Bytes>> SyncClient::ReadUnfenced(rdma::Addr slot) {
     };
     auto st = std::make_shared<Pipelined>();
     auto all = std::make_shared<sim::Quorum>(fabric_->sim(self_), 3, 3);
-    sim::Spawn([this, slot, st, all]() -> sim::Task<void> {
+    sim::Spawn([this, slot, st, all, op]() -> sim::Task<void> {
+      Arm(op);
       st->cas = co_await rdma_.CompareSwap(&server_->rdma(), server_->rkey(),
                                            slot + kLockOff, 0, id_);
       round_trips_++;
       all->Arrive(true);
     });
     co_await sim::SleepFor(fabric_->sim(self_), sim::Nanos(80));
-    sim::Spawn([this, slot, st, all]() -> sim::Task<void> {
+    sim::Spawn([this, slot, st, all, op]() -> sim::Task<void> {
+      Arm(op);
       st->lo = co_await rdma_.Read(&server_->rdma(), server_->rkey(),
                                    slot + kValueOff, 8);
       round_trips_++;
       all->Arrive(true);
     });
     co_await sim::SleepFor(fabric_->sim(self_), sim::Nanos(80));
-    sim::Spawn([this, slot, st, all]() -> sim::Task<void> {
+    sim::Spawn([this, slot, st, all, op]() -> sim::Task<void> {
+      Arm(op);
       st->hi = co_await rdma_.Read(&server_->rdma(), server_->rkey(),
                                    slot + kValueOff + 8, 8);
       round_trips_++;
@@ -603,7 +660,7 @@ sim::Task<Result<Bytes>> SyncClient::ReadUnfenced(rdma::Addr slot) {
     });
     co_await all->Wait();
     if (st->cas.ok() && *st->cas == 0) {
-      co_await ReleaseSpin(slot);
+      co_await ReleaseSpin(slot, op);
       if (st->lo.ok() && st->hi.ok()) {
         Bytes v(kValueSize);
         StoreU64(v.data(), LoadU64(st->lo->data()));
@@ -615,10 +672,12 @@ sim::Task<Result<Bytes>> SyncClient::ReadUnfenced(rdma::Addr slot) {
     if (st->cas.ok()) lock_conflicts_++;
     // Aggressive retry (part of the scheme's "optimization"): a short
     // jittered pause instead of the exponential backoff the fenced
-    // schemes use.
+    // schemes use. Still acquisition spin for attribution purposes.
+    obs::SwitchOp(op, obs::Phase::kSyncSpin, fabric_->sim(self_)->Now());
     co_await sim::SleepFor(
         fabric_->sim(self_),
         sim::Nanos(500 + static_cast<sim::Duration>(rng_.NextBelow(1500))));
+    obs::SwitchOp(op, obs::Phase::kApp, fabric_->sim(self_)->Now());
   }
   co_return Aborted("unfenced: could not acquire");
 }
@@ -626,32 +685,35 @@ sim::Task<Result<Bytes>> SyncClient::ReadUnfenced(rdma::Addr slot) {
 // ---- public ops with history recording ----
 
 sim::Task<Result<Bytes>> SyncClient::Read(uint64_t key) {
+  // Capture the timed-op register before the first suspension (same
+  // discipline as the span register); null when this op isn't timed.
+  obs::OpTimeline* const op = fabric_->obs().current_op();
   check::HistoryRecorder* h = history_;
   size_t hid = 0;
   if (h != nullptr) {
     hid = h->Begin(history_client_, key, check::OpType::kRead);
   }
   Result<Bytes> r = Aborted("unreachable");
-  auto slot = co_await LocateSlot(key);
+  auto slot = co_await LocateSlot(key, op);
   if (!slot.ok()) {
     r = slot.status();
   } else {
     const rdma::Addr addr = server_->slot_addr(*slot);
     switch (scheme_) {
       case SyncScheme::kSpinlock:
-        r = co_await ReadLocked(addr);
+        r = co_await ReadLocked(addr, op);
         break;
       case SyncScheme::kOptimistic:
-        r = co_await ReadOptimistic(addr);
+        r = co_await ReadOptimistic(addr, op);
         break;
       case SyncScheme::kLease:
-        r = co_await ReadLease(addr);
+        r = co_await ReadLease(addr, op);
         break;
       case SyncScheme::kPrismNative:
-        r = co_await ReadPrism(addr);
+        r = co_await ReadPrism(addr, op);
         break;
       case SyncScheme::kUnfencedBuggy:
-        r = co_await ReadUnfenced(addr);
+        r = co_await ReadUnfenced(addr, op);
         break;
     }
   }
@@ -668,6 +730,7 @@ sim::Task<Result<Bytes>> SyncClient::Read(uint64_t key) {
 
 sim::Task<Status> SyncClient::Update(uint64_t key, Bytes value) {
   PRISM_CHECK_EQ(value.size(), kValueSize);
+  obs::OpTimeline* const op = fabric_->obs().current_op();
   check::HistoryRecorder* h = history_;
   size_t hid = 0;
   if (h != nullptr) {
@@ -675,26 +738,26 @@ sim::Task<Status> SyncClient::Update(uint64_t key, Bytes value) {
                    check::IdOf(value));
   }
   UpdateOutcome out{Aborted("unreachable"), Applied::kNo};
-  auto slot = co_await LocateSlot(key);
+  auto slot = co_await LocateSlot(key, op);
   if (!slot.ok()) {
     out.status = slot.status();
   } else {
     const rdma::Addr addr = server_->slot_addr(*slot);
     switch (scheme_) {
       case SyncScheme::kSpinlock:
-        out = co_await UpdateLocked(addr, std::move(value));
+        out = co_await UpdateLocked(addr, std::move(value), op);
         break;
       case SyncScheme::kOptimistic:
-        out = co_await UpdateOptimistic(addr, std::move(value));
+        out = co_await UpdateOptimistic(addr, std::move(value), op);
         break;
       case SyncScheme::kLease:
-        out = co_await UpdateLease(addr, std::move(value));
+        out = co_await UpdateLease(addr, std::move(value), op);
         break;
       case SyncScheme::kPrismNative:
-        out = co_await UpdatePrism(addr, std::move(value));
+        out = co_await UpdatePrism(addr, std::move(value), op);
         break;
       case SyncScheme::kUnfencedBuggy:
-        out = co_await UpdateUnfenced(addr, std::move(value));
+        out = co_await UpdateUnfenced(addr, std::move(value), op);
         break;
     }
   }

@@ -43,6 +43,8 @@
 
 #include "src/common/logging.h"
 #include "src/common/rng.h"
+#include "src/obs/obs.h"
+#include "src/obs/timeline.h"
 #include "src/sim/simulator.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
@@ -75,7 +77,10 @@ class OpenLoopPool {
  public:
   // Executes one operation; `draw` is the client's 64-bit key-space draw
   // (deterministic per client). The callee owns transports and servers.
-  using OpFn = std::function<sim::Task<void>(uint64_t draw)>;
+  // `op` is the op's phase timeline (nullptr when attribution is off) — the
+  // callee re-arms the hub's current-op register with it before each
+  // transport call (retries included) and may stamp its own waits.
+  using OpFn = std::function<sim::Task<void>(uint64_t draw, obs::OpTimeline* op)>;
 
   OpenLoopPool(sim::Simulator* sim, const ArrivalSpec& spec,
                uint64_t n_clients, Rng rng, PoolOptions opts = {})
@@ -97,6 +102,22 @@ class OpenLoopPool {
     PRISM_CHECK(!started_);
     classes_.push_back(OpClass{std::move(name), weight, std::move(fn)});
     PRISM_CHECK_LE(classes_.size(), 256u) << "tag/hist are 8-bit handles";
+  }
+
+  // Optional per-op phase attribution: every arrival gets an OpTimeline in
+  // `store` (class indices resolved by name, so pools on many hosts can
+  // share one store) and workers arm `hub`'s current-op register around the
+  // op body. When the hub carries a tracer, each op also gets its own root
+  // span (named after its class, attributed to `host`) so traces render one
+  // async track per op and exemplars pin exactly their own span tree. Call
+  // before Start; nullptr (the default) keeps the pool timeline-free with
+  // zero per-op overhead.
+  void set_timelines(obs::TimelineStore* store, obs::Hub* hub,
+                     uint32_t host = 0) {
+    PRISM_CHECK(!started_);
+    store_ = store;
+    hub_ = hub;
+    obs_host_ = host;
   }
 
   // Materializes the population and spawns the arrival driver + workers.
@@ -132,6 +153,12 @@ class OpenLoopPool {
     for (size_t c = 0; c < classes_.size(); ++c) {
       recorders_.push_back(
           std::make_unique<Recorder>(sim_, measure_start, end));
+    }
+    if (store_ != nullptr) {
+      store_->SetWindow(measure_start, end);
+      for (const OpClass& c : classes_) {
+        store_cls_.push_back(store_->EnsureClass(c.name));
+      }
     }
     sim::Spawn(Driver(), &tracker_);
     for (int w = 0; w < opts_.workers; ++w) {
@@ -176,10 +203,13 @@ class OpenLoopPool {
     OpFn fn;
   };
 
-  // An arrival waiting in the backlog: 16 bytes.
+  // An arrival waiting in the backlog: 16 bytes bare, 24 with the timeline
+  // pointer (heap-transient channel state, not per-client state — the
+  // ≤64 B/client guard runs without a store, where op stays null).
   struct Pending {
     uint32_t client;
     sim::TimePoint arrival;
+    obs::OpTimeline* op;
   };
   static constexpr uint32_t kPoison = 0xffffffffu;
 
@@ -201,11 +231,16 @@ class OpenLoopPool {
       slot.outstanding++;
       arrivals_count_++;
       if (sim_->Now() >= measure_start_) measured_arrivals_++;
-      queue_.Push(Pending{c, sim_->Now()});
+      // The timeline is born at arrival, in kBacklogWait: everything until
+      // a worker pops it is client-side queueing.
+      obs::OpTimeline* op =
+          store_ != nullptr ? store_->StartOp(store_cls_[slot.tag], sim_->Now())
+                            : nullptr;
+      queue_.Push(Pending{c, sim_->Now(), op});
       if (queue_.size() > peak_backlog_) peak_backlog_ = queue_.size();
     }
     for (int w = 0; w < opts_.workers; ++w) {
-      queue_.Push(Pending{kPoison, 0});
+      queue_.Push(Pending{kPoison, 0, nullptr});
     }
   }
 
@@ -216,7 +251,30 @@ class OpenLoopPool {
       ClientSlot& slot = clients_[p.client];
       OpClass& cls = classes_[slot.tag];
       const uint64_t draw = SplitMix(&slot.rng);
-      co_await cls.fn(draw);
+      obs::SpanId op_span = 0;
+      if (p.op != nullptr) {
+        // Backlog wait ends here; the op body starts in kApp and the
+        // register is armed for the transport entry (no suspension between
+        // this write and fn's first capture — the span-register discipline).
+        p.op->Switch(obs::Phase::kApp, sim_->Now());
+        hub_->SetCurrentOp(p.op);
+        if (hub_->tracer() != nullptr) {
+          // Per-op root span, parent 0 regardless of the register: every
+          // verb the op issues becomes a descendant, so traces render one
+          // async track per op and the exemplar store pins exactly this
+          // op's tree rather than the worker's whole causal history.
+          op_span = hub_->tracer()->Begin(cls.name, "app", obs_host_,
+                                          sim_->Now(), /*parent=*/0);
+          hub_->SetCurrentSpan(op_span);
+          p.op->set_root_span(op_span);
+        }
+      }
+      co_await cls.fn(draw, p.op);
+      if (p.op != nullptr) {
+        if (op_span != 0) hub_->FinishSpan(op_span, sim_->Now());
+        hub_->SetCurrentOp(nullptr);
+        store_->FinishOp(p.op, sim_->Now());
+      }
       // Latency from *arrival*: client-side backlog wait included.
       recorders_[slot.hist]->Record(p.arrival);
       class_completions_[slot.hist]++;
@@ -234,6 +292,11 @@ class OpenLoopPool {
   bool started_ = false;
   sim::TimePoint measure_start_ = 0;
   sim::TimePoint end_ = 0;
+
+  obs::TimelineStore* store_ = nullptr;
+  obs::Hub* hub_ = nullptr;
+  uint32_t obs_host_ = 0;  // host label for per-op root spans
+  std::vector<uint32_t> store_cls_;  // pool class index -> store class index
 
   std::vector<ClientSlot> clients_;
   std::vector<OpClass> classes_;

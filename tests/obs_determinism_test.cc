@@ -17,8 +17,16 @@
 #include <vector>
 
 #include "bench/kv_bench_lib.h"
+#include "src/common/bytes.h"
+#include "src/common/rng.h"
 #include "src/explore/hooks.h"
 #include "src/explore/workloads.h"
+#include "src/kv/prism_kv.h"
+#include "src/net/fabric.h"
+#include "src/obs/timeline.h"
+#include "src/obs/trace.h"
+#include "src/sim/psim.h"
+#include "src/workload/open_loop.h"
 
 namespace prism::bench {
 namespace {
@@ -154,6 +162,148 @@ TEST_F(ObsDeterminismTest, IdentityScheduleHookIsBitIdentical) {
           << ex::WorkloadName(w) << " " << seed;
     }
   }
+}
+
+// ---- ClusterSim: observability artifacts across worker counts ----
+//
+// The attribution layer's determinism contract extended to the parallel DES
+// core: requesting a tracer on a cluster-backed fabric downgrades it to the
+// serial engine (global completion order), so the trace JSON, the per-op
+// phase timelines, and the metrics snapshot are bit-identical no matter how
+// many cores were asked for. Metrics-only observation must keep the
+// parallel path — and still agree on every counter across worker counts.
+
+// Canonical text form of everything a TimelineStore aggregates: per-class
+// exact phase sums, the latency digest, and the full exemplar reservoir
+// (order, phase breakdown, pinned span counts).
+std::string TimelineFingerprint(const obs::TimelineStore& st) {
+  std::string fp = "started=" + std::to_string(st.started_ops()) +
+                   " measured=" + std::to_string(st.measured_ops()) + "\n";
+  for (size_t c = 0; c < st.n_classes(); ++c) {
+    const LatencyHistogram::Summary sum = st.total_hist(c).Summarize();
+    fp += st.class_name(c) + " n=" + std::to_string(sum.count) +
+          " p999=" + std::to_string(sum.p999_us);
+    for (int ph = 0; ph < obs::kNumPhases; ++ph) {
+      fp += " " + std::to_string(st.phase_total_ns(c, ph));
+    }
+    for (const obs::TimelineStore::Exemplar& e : st.exemplars(c)) {
+      fp += " | seq=" + std::to_string(e.seq) + " " +
+            std::to_string(e.start_ns) + ".." + std::to_string(e.end_ns) +
+            " spans=" + std::to_string(e.spans.size());
+      for (int ph = 0; ph < obs::kNumPhases; ++ph) {
+        fp += "," + std::to_string(e.phase_ns[ph]);
+      }
+    }
+    fp += "\n";
+  }
+  return fp;
+}
+
+struct ClusterObsRun {
+  std::string serial_reason;
+  bool parallel = false;
+  uint64_t executed = 0;
+  std::string trace_json;   // empty when untraced
+  std::string timeline_fp;  // empty when untraced
+  obs::MetricsSnapshot snapshot;
+};
+
+ClusterObsRun RunClusterKvObs(int cores, bool traced) {
+  ClusterObsRun out;
+  sim::ClusterSim cluster(cores);
+  net::Fabric fabric(&cluster, net::CostModel::EvalCluster40G());
+  obs::Tracer tracer;
+  obs::TimelineStore store;
+  if (traced) {
+    fabric.AttachTracer(&tracer);
+    store.SetTracer(&tracer);
+  }
+  net::HostId server_host = fabric.AddHost("kv-server");
+  kv::PrismKvOptions kopts;
+  kopts.n_buckets = 256;
+  kopts.n_buffers = 512;
+  kv::PrismKvServer server(&fabric, server_host, kopts);
+  net::HostId ch = fabric.AddHost("kvc");
+  kv::PrismKvClient get_client(&fabric, ch, &server);
+  kv::PrismKvClient put_client(&fabric, ch, &server);
+
+  workload::PoolOptions popts;
+  popts.workers = 8;
+  workload::OpenLoopPool pool(fabric.sim(ch),
+                              workload::ArrivalSpec::Poisson(4e5), 16,
+                              Rng(515), popts);
+  if (traced) pool.set_timelines(&store, &fabric.obs(), ch);
+  pool.AddClass("kv.get", 0.5,
+                [&](uint64_t draw, obs::OpTimeline*) -> sim::Task<void> {
+                  auto r =
+                      co_await get_client.Get("k" + std::to_string(draw % 8));
+                  (void)r;  // misses are expected: gets race the puts
+                });
+  pool.AddClass("kv.put", 0.5,
+                [&](uint64_t draw, obs::OpTimeline*) -> sim::Task<void> {
+                  Status s = co_await put_client.Put(
+                      "k" + std::to_string(draw % 8),
+                      BytesOfString("v" + std::to_string(draw % 4)));
+                  PRISM_CHECK(s.ok()) << s;
+                });
+  pool.Start(sim::Micros(50), sim::Micros(550));
+  cluster.Run();
+  pool.CheckDrained();
+
+  out.serial_reason = cluster.serial_reason();
+  out.parallel = fabric.parallel();
+  out.executed = cluster.executed_events();
+  out.snapshot = fabric.obs().metrics().Snapshot();
+  if (traced) {
+    out.trace_json = tracer.ToChromeJson(fabric.HostNames());
+    out.timeline_fp = TimelineFingerprint(store);
+  }
+  return out;
+}
+
+TEST_F(ObsDeterminismTest, ClusterObsArtifactsBitIdenticalAcrossCores) {
+  const ClusterObsRun t1 = RunClusterKvObs(1, true);
+  const ClusterObsRun t2 = RunClusterKvObs(2, true);
+  const ClusterObsRun t8 = RunClusterKvObs(8, true);
+
+  // The tracer request downgraded the cores>1 clusters with a logged
+  // reason; nothing ran parallel under observation.
+  EXPECT_NE(t2.serial_reason.find("tracing"), std::string::npos)
+      << "reason: " << t2.serial_reason;
+  EXPECT_NE(t8.serial_reason.find("tracing"), std::string::npos)
+      << "reason: " << t8.serial_reason;
+  EXPECT_FALSE(t2.parallel);
+  EXPECT_FALSE(t8.parallel);
+
+  // Every artifact — executed schedule, Chrome trace, timeline aggregate,
+  // metrics snapshot — is byte-identical to the cores=1 run.
+  for (const ClusterObsRun* r : {&t2, &t8}) {
+    EXPECT_EQ(t1.executed, r->executed);
+    EXPECT_EQ(t1.trace_json, r->trace_json);
+    EXPECT_EQ(t1.timeline_fp, r->timeline_fp);
+    EXPECT_TRUE(t1.snapshot == r->snapshot)
+        << "--- cores=1 ---\n" << t1.snapshot.ToText()
+        << "--- cores=N ---\n" << r->snapshot.ToText();
+  }
+  // And the serial runs actually recorded: spans exist and both client
+  // classes aggregated phase time.
+  EXPECT_NE(t1.trace_json.find("kv.get"), std::string::npos);
+  EXPECT_NE(t1.timeline_fp.find("kv.get"), std::string::npos);
+  EXPECT_NE(t1.timeline_fp.find("kv.put"), std::string::npos);
+
+  // Metrics-only observation keeps the parallel fast path, and the
+  // counters still cannot depend on the worker count.
+  const ClusterObsRun m2 = RunClusterKvObs(2, false);
+  const ClusterObsRun m8 = RunClusterKvObs(8, false);
+  EXPECT_TRUE(m2.serial_reason.empty()) << m2.serial_reason;
+  EXPECT_TRUE(m8.serial_reason.empty()) << m8.serial_reason;
+  EXPECT_TRUE(m2.parallel);
+  EXPECT_TRUE(m8.parallel);
+  EXPECT_EQ(t1.executed, m2.executed);  // same schedule as the traced run
+  EXPECT_EQ(m2.executed, m8.executed);
+  EXPECT_TRUE(m2.snapshot == m8.snapshot)
+      << "--- cores=2 ---\n" << m2.snapshot.ToText()
+      << "--- cores=8 ---\n" << m8.snapshot.ToText();
 }
 
 TEST_F(ObsDeterminismTest, Table1RoundTripsPrismVsPilaf) {

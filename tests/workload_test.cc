@@ -277,12 +277,14 @@ TEST(ArrivalTest, SeededReplayIsBitIdentical) {
 TEST(OpenLoopPoolTest, SyntheticOpsFlowThroughCompactSlots) {
   sim::Simulator sim;
   OpenLoopPool pool(&sim, ArrivalSpec::Poisson(1e6), 1000, Rng(5));
-  pool.AddClass("fast", 3.0, [&sim](uint64_t) -> sim::Task<void> {
-    co_await sim::SleepFor(&sim, sim::Micros(5));
-  });
-  pool.AddClass("slow", 1.0, [&sim](uint64_t) -> sim::Task<void> {
-    co_await sim::SleepFor(&sim, sim::Micros(50));
-  });
+  pool.AddClass("fast", 3.0,
+                [&sim](uint64_t, obs::OpTimeline*) -> sim::Task<void> {
+                  co_await sim::SleepFor(&sim, sim::Micros(5));
+                });
+  pool.AddClass("slow", 1.0,
+                [&sim](uint64_t, obs::OpTimeline*) -> sim::Task<void> {
+                  co_await sim::SleepFor(&sim, sim::Micros(50));
+                });
   pool.Start(sim::Micros(100), sim::Millis(2));
   sim.RunUntil(sim::Millis(3));
   sim.Run();
@@ -325,9 +327,10 @@ TEST(OpenLoopPoolTest, BacklogQueueingShowsUpInLatency) {
   PoolOptions opts;
   opts.workers = 4;
   OpenLoopPool pool(&sim, ArrivalSpec::Poisson(200e3), 100, Rng(9), opts);
-  pool.AddClass("op", 1.0, [&sim](uint64_t) -> sim::Task<void> {
-    co_await sim::SleepFor(&sim, sim::Micros(100));
-  });
+  pool.AddClass("op", 1.0,
+                [&sim](uint64_t, obs::OpTimeline*) -> sim::Task<void> {
+                  co_await sim::SleepFor(&sim, sim::Micros(100));
+                });
   pool.Start(0, sim::Millis(5));
   sim.RunUntil(sim::Millis(6));
   sim.Run();
@@ -347,9 +350,11 @@ TEST(OpenLoopPoolTest, SweepIsBitIdenticalAcrossJobs) {
     return [seed]() -> std::vector<double> {
       sim::Simulator sim;
       OpenLoopPool pool(&sim, ArrivalSpec::Mmpp(2e6), 10000, Rng(seed));
-      pool.AddClass("op", 1.0, [&sim](uint64_t draw) -> sim::Task<void> {
-        co_await sim::SleepFor(&sim, sim::Nanos(500 + (draw % 1000)));
-      });
+      pool.AddClass(
+          "op", 1.0,
+          [&sim](uint64_t draw, obs::OpTimeline*) -> sim::Task<void> {
+            co_await sim::SleepFor(&sim, sim::Nanos(500 + (draw % 1000)));
+          });
       pool.Start(sim::Micros(50), sim::Millis(1));
       sim.RunUntil(sim::Millis(1) + sim::Micros(200));
       sim.Run();
