@@ -431,6 +431,95 @@ endforeach()
 message(STATUS "fig_sync OK: ${n_series} scheme series with positive "
   "throughput and round_trips_per_op rows")
 
+if(NOT CONSENSUS_BIN)
+  return()
+endif()
+
+# ---- consensus vs ABD driver ----
+# A fast-mode sweep: the fig_consensus entry must carry the PMP-consensus
+# and ABD-LOCK load series (two op-class complexity rows each) plus the
+# failover series (one cons.failover row, elections as rkey revocations).
+# The driver itself PRISM_CHECKs the accountant-exact 2-RT commit at n=3
+# and that it beats ABD-LOCK's round-trip bill, so a zero exit already
+# certifies the figure's headline claim.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env PRISM_BENCH_FAST=1 ${CONSENSUS_BIN} --jobs=2
+  WORKING_DIRECTORY ${WORK_DIR}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err
+)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fig_consensus exited with ${rc}:\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "consensus-assert")
+  message(FATAL_ERROR "fig_consensus printed no round-trip assertions:\n${out}")
+endif()
+
+file(READ ${figs_path} figs)
+string(JSON n_series LENGTH "${figs}" fig_consensus series)
+if(NOT n_series EQUAL 3)
+  message(FATAL_ERROR "fig_consensus expected 3 series, got ${n_series}")
+endif()
+math(EXPR last_series "${n_series} - 1")
+foreach(s RANGE ${last_series})
+  string(JSON sname GET "${figs}" fig_consensus series ${s} name)
+  if(s EQUAL 0 AND NOT sname STREQUAL "PMP-consensus")
+    message(FATAL_ERROR "series 0 should be PMP-consensus, got '${sname}'")
+  endif()
+  if(s EQUAL 1 AND NOT sname STREQUAL "ABD-LOCK")
+    message(FATAL_ERROR "series 1 should be ABD-LOCK, got '${sname}'")
+  endif()
+  if(s EQUAL 2 AND NOT sname STREQUAL "failover")
+    message(FATAL_ERROR "series 2 should be failover, got '${sname}'")
+  endif()
+  string(JSON n_points LENGTH "${figs}" fig_consensus series ${s} points)
+  if(n_points LESS_EQUAL 0)
+    message(FATAL_ERROR "fig_consensus series '${sname}' has no points")
+  endif()
+  math(EXPR last_point "${n_points} - 1")
+  foreach(p RANGE ${last_point})
+    string(JSON tput GET "${figs}" fig_consensus series ${s} points ${p}
+           tput_mops)
+    if(tput LESS_EQUAL 0)
+      message(FATAL_ERROR "fig_consensus series '${sname}' point ${p}: "
+        "tput_mops=${tput}, expected > 0")
+    endif()
+    foreach(field clients offered_mops mean_us p50_us p99_us p999_us
+                  sim_events)
+      string(JSON ignored GET "${figs}" fig_consensus series ${s} points ${p}
+             ${field})
+    endforeach()
+    string(JSON n_ops LENGTH "${figs}" fig_consensus series ${s} points ${p}
+           ops)
+    if(sname STREQUAL "failover")
+      set(want_ops 1)
+    else()
+      set(want_ops 2)
+    endif()
+    if(NOT n_ops EQUAL ${want_ops})
+      message(FATAL_ERROR "fig_consensus series '${sname}' point ${p}: "
+        "expected ${want_ops} op rows, got ${n_ops}")
+    endif()
+    math(EXPR last_op "${n_ops} - 1")
+    foreach(o RANGE ${last_op})
+      string(JSON rt GET "${figs}" fig_consensus series ${s} points ${p}
+             ops ${o} round_trips_per_op)
+      if(rt LESS_EQUAL 0)
+        message(FATAL_ERROR "fig_consensus series '${sname}' point ${p} "
+          "op ${o}: round_trips_per_op=${rt}, expected > 0")
+      endif()
+      foreach(field op count round_trips messages_per_op)
+        string(JSON ignored GET "${figs}" fig_consensus series ${s} points ${p}
+               ops ${o} ${field})
+      endforeach()
+    endforeach()
+  endforeach()
+endforeach()
+
+message(STATUS "fig_consensus OK: PMP-consensus/ABD-LOCK/failover series "
+  "with positive throughput and round_trips_per_op rows")
+
 # ---- windowed parallel DES scaling (results/BENCH_psim.json) ----
 # Fast-mode run of the intra-simulation parallelism ablation: validates the
 # schema, that the parallel rows actually ran parallel (no serial_reason,

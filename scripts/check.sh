@@ -6,10 +6,11 @@
 # malformed-input exit-code contract), an ASan+UBSan build of
 # the whole tree with the sanitize-labeled test suite, the chaos sweeps, the
 # schedule-space exploration sweeps (label: explore), the one-sided
-# synchronization suite (label: sync) under both the ASan and TSan presets,
+# synchronization suite (label: sync) and the permission-guarded consensus
+# suite (label: consensus) under both the ASan and TSan presets,
 # a ThreadSanitizer pass over the threaded sweep-harness paths, and the gcov
-# line-coverage floor on src/check/ + src/explore/ + src/sync/
-# (scripts/coverage.sh).
+# line-coverage floor on src/check/ + src/explore/ + src/sync/ +
+# src/consensus/ (scripts/coverage.sh).
 #
 #   scripts/check.sh                 # tier-1 + sanitizers
 #   scripts/check.sh --fast          # tier-1 only
@@ -87,6 +88,9 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L explore
 echo "==> sync: one-sided synchronization suite under ASan (label: sync)"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L sync
 
+echo "==> consensus: permission-guarded consensus suite under ASan (label: consensus)"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L consensus
+
 echo "==> tsan: ThreadSanitizer configure + build (build-tsan/)"
 cmake --preset tsan >/dev/null
 cmake --build build-tsan -j "$JOBS"
@@ -98,10 +102,13 @@ ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
 echo "==> tsan: one-sided synchronization suite under TSan (label: sync)"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L sync
 
+echo "==> tsan: permission-guarded consensus suite under TSan (label: consensus)"
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L consensus
+
 echo "==> tsan: windowed parallel DES bit-identity suite under TSan (label: psim)"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L psim
 
-echo "==> coverage: gcov line-coverage floor on src/check/ + src/explore/ + src/sync/"
+echo "==> coverage: gcov line-coverage floor on src/check/ + src/explore/ + src/sync/ + src/consensus/"
 scripts/coverage.sh --jobs "$JOBS"
 
 echo "OK"

@@ -4,7 +4,7 @@
 # Builds the gcov-instrumented tree (build-cov/, preset "coverage"), runs
 # the checker/oracle/exploration test binaries, then aggregates raw gcov
 # line counts for every translation unit under src/check/, src/explore/,
-# and src/sync/
+# src/sync/, and src/consensus/
 # and fails if the combined line coverage drops below the floor.
 #
 #   scripts/coverage.sh                # build + run + enforce floor
@@ -32,7 +32,8 @@ done
 
 BUILD=build-cov
 # The test binaries whose runs exercise src/check/ + src/explore/.
-TARGETS=(explore_test chaos_test sim_test harness_test sync_test)
+TARGETS=(explore_test chaos_test sim_test harness_test sync_test
+         consensus_test)
 
 echo "==> coverage: configure + build ($BUILD/)"
 cmake --preset coverage >/dev/null
@@ -44,14 +45,15 @@ for t in "${TARGETS[@]}"; do
   "./$BUILD/tests/$t" --jobs="$JOBS" >/dev/null
 done
 
-echo "==> coverage: aggregate gcov for src/check/ + src/explore/ + src/sync/"
+echo "==> coverage: aggregate gcov for src/check/ + src/explore/ + src/sync/ + src/consensus/"
 # gcov emits, per object: "File '<path>'" followed by
 # "Lines executed:<pct>% of <total>". Sum totals and executed lines for the
 # gated directories; a source seen from several objects (headers, inline
 # code) is counted at its best-covered instantiation.
-GCDA_LIST=$(find "$BUILD/src/check" "$BUILD/src/explore" "$BUILD/src/sync" -name '*.gcda')
+GCDA_LIST=$(find "$BUILD/src/check" "$BUILD/src/explore" "$BUILD/src/sync" \
+                 "$BUILD/src/consensus" -name '*.gcda')
 if [[ -z "$GCDA_LIST" ]]; then
-  echo "coverage: no .gcda files under $BUILD/src/{check,explore,sync}" >&2
+  echo "coverage: no .gcda files under $BUILD/src/{check,explore,sync,consensus}" >&2
   exit 1
 fi
 REPORT=$(
@@ -67,7 +69,7 @@ REPORT=$(
       next
     }
     /^Lines executed:/ {
-      if (file !~ /^src\/(check|explore|sync)\//) { file = ""; next }
+      if (file !~ /^src\/(check|explore|sync|consensus)\//) { file = ""; next }
       pct = $0; sub(/^Lines executed:/, "", pct); sub(/%.*/, "", pct)
       total = $0; sub(/.* of /, "", total)
       hit = int(pct * total / 100 + 0.5)
@@ -90,7 +92,7 @@ REPORT=$(
 echo "$REPORT" | grep -v '^TOTAL'
 TOTAL=$(echo "$REPORT" | awk '/^TOTAL/ {print $2}')
 
-echo "==> coverage: ${TOTAL}% of src/check/ + src/explore/ + src/sync/ lines (floor ${MIN_PERCENT}%)"
+echo "==> coverage: ${TOTAL}% of src/check/ + src/explore/ + src/sync/ + src/consensus/ lines (floor ${MIN_PERCENT}%)"
 awk -v t="$TOTAL" -v m="$MIN_PERCENT" 'BEGIN { exit (t + 0 >= m + 0) ? 0 : 1 }' || {
   echo "coverage: ${TOTAL}% is below the ${MIN_PERCENT}% floor" >&2
   exit 1

@@ -12,10 +12,14 @@
 #    open-loop get class must be >= 80% backlog_wait in every series -> exit 0.
 # 3. Same determinism + verdict pass for fig_sync: the CAS-spinlock tail is
 #    sync_spin-dominated (>= 70% pooled), PRISM-native's stays wire-dominated.
-# 4. Exit-code contract: failed expectation -> 1, malformed input -> 2.
-if(NOT OVERLOAD_BIN OR NOT SYNC_BIN OR NOT REPORT_BIN OR NOT WORK_DIR)
+# 4. Same pass for fig_consensus: the failover tail (leader change by rkey
+#    revocation) is responder-dominated — Deregister+Register handler work,
+#    never sync_spin.
+# 5. Exit-code contract: failed expectation -> 1, malformed input -> 2.
+if(NOT OVERLOAD_BIN OR NOT SYNC_BIN OR NOT CONSENSUS_BIN OR NOT REPORT_BIN
+   OR NOT WORK_DIR)
   message(FATAL_ERROR "latency_smoke.cmake needs -DOVERLOAD_BIN=... "
-          "-DSYNC_BIN=... -DREPORT_BIN=... -DWORK_DIR=...")
+          "-DSYNC_BIN=... -DCONSENSUS_BIN=... -DREPORT_BIN=... -DWORK_DIR=...")
 endif()
 
 # Scratch tree separate from the bench_smoke WORK_DIR so concurrent ctest -j
@@ -128,6 +132,35 @@ if(NOT rc EQUAL 0)
 endif()
 message(STATUS "fig_sync OK: spinlock tail sync_spin-dominated, "
   "PRISM-native tail wire-dominated")
+
+# ---- fig_consensus: determinism + revocation-failover tail phase ----
+run_traced(${CONSENSUS_BIN} 2 trace_consensus.json)
+foreach(f ATTRIB_fig_consensus.json TS_fig_consensus.json trace_consensus.json)
+  file(RENAME ${WORK_DIR}/results/${f} ${WORK_DIR}/results/j2_${f})
+endforeach()
+run_traced(${CONSENSUS_BIN} 1 trace_consensus.json)
+foreach(f ATTRIB_fig_consensus.json TS_fig_consensus.json trace_consensus.json)
+  require_identical(${WORK_DIR}/results/j2_${f} ${WORK_DIR}/results/${f} ${f})
+endforeach()
+message(STATUS "fig_consensus attribution byte-identical across --jobs=1/2")
+
+# The failover class IS the rkey-revocation handoff: its tail must be
+# dominated by responder time (the replicas' Deregister+Register grant
+# handlers), with the wire round trips second — never sync_spin, because
+# permission revocation needs no spinning failure detector.
+report(rc out
+  --ts=results/TS_fig_consensus.json
+  --trace=results/trace_consensus.json
+  "--expect=failover/cons.failover/responder/0.40"
+  "--expect-dominant=failover/cons.failover/responder"
+  "--expect-dominant=failover/*/responder"
+  results/ATTRIB_fig_consensus.json)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "failover tail not responder-dominated (rc=${rc}):\n${out}")
+endif()
+message(STATUS "fig_consensus OK: revocation-failover tail "
+  "responder-dominated, not sync_spin")
 
 # ---- exit-code contract ----
 # A failed expectation must exit 1 (the spinlock tail is NOT wire-dominated).

@@ -9,6 +9,7 @@
 #include "src/common/bytes.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
+#include "src/consensus/consensus.h"
 #include "src/explore/oracle.h"
 #include "src/explore/toy_replica.h"
 #include "src/kv/prism_kv.h"
@@ -24,9 +25,10 @@ namespace {
 
 using sim::Task;
 
-const char* kWorkloadNames[] = {"toy",        "rs",        "kv",
-                                "tx",         "sync_spin", "sync_opt",
-                                "sync_lease", "sync_prism", "sync_buggy"};
+const char* kWorkloadNames[] = {"toy",        "rs",         "kv",
+                                "tx",         "sync_spin",  "sync_opt",
+                                "sync_lease", "sync_prism", "sync_buggy",
+                                "consensus",  "consensus_buggy"};
 constexpr int kWorkloadCount =
     static_cast<int>(sizeof(kWorkloadNames) / sizeof(kWorkloadNames[0]));
 
@@ -553,6 +555,235 @@ RunOutcome RunSync(Workload kind, uint64_t seed, sim::ScheduleHook* hook) {
   return out;
 }
 
+// ---- consensus: permission-guarded leader log (src/consensus) ----
+
+// Pairwise cross-replica log safety, the same oracle consensus_test's chaos
+// sweep applies: below both commit words, two replicas that both hold a
+// slot must hold the same key/value (holes are legal — indeterminate ops
+// that never landed; header epochs may lag until healing rewrites them).
+bool CommittedPrefixesAgree(consensus::ConsensusCluster& cluster,
+                            std::string* error) {
+  for (int a = 0; a < cluster.n(); ++a) {
+    for (int b = a + 1; b < cluster.n(); ++b) {
+      const uint64_t upto = std::min(cluster.replica(a).commit_seq(),
+                                     cluster.replica(b).commit_seq());
+      for (uint64_t s = 1; s <= upto; ++s) {
+        consensus::LogEntryWire ea, eb;
+        if (!cluster.replica(a).EntryAt(s, &ea) ||
+            !cluster.replica(b).EntryAt(s, &eb)) {
+          continue;
+        }
+        if (ea.key != eb.key || ea.v_lo != eb.v_lo || ea.v_hi != eb.v_hi) {
+          *error = "replicas " + std::to_string(a) + " and " +
+                   std::to_string(b) + " diverge at committed seq " +
+                   std::to_string(s);
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+// The correct protocol under compressed chaos: replica crashes (f = 1, so
+// the group always has a live quorum), partitions and loss over every host,
+// clients retrying with client-triggered failovers.
+RunOutcome RunConsensus(uint64_t seed, sim::ScheduleHook* hook,
+                        const std::vector<int>* disabled) {
+  constexpr uint64_t kKeys = 2;
+  constexpr int kOpsPerClient = 5;
+
+  sim::Simulator sim;
+  if (hook != nullptr) sim.SetScheduleHook(hook);
+  net::Fabric fabric(&sim, net::CostModel::EvalCluster40G(),
+                     /*loss_seed=*/seed);
+  consensus::ConsensusOptions opts;
+  std::vector<net::HostId> hosts;
+  for (int i = 0; i < opts.n_replicas; ++i) {
+    hosts.push_back(fabric.AddHost("replica" + std::to_string(i)));
+  }
+  consensus::ConsensusCluster cluster(&fabric, hosts, opts);
+
+  check::HistoryRecorder history(&sim);
+  std::vector<net::HostId> client_hosts;
+  std::vector<std::unique_ptr<consensus::ConsensusClient>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    client_hosts.push_back(fabric.AddHost("client" + std::to_string(c)));
+    clients.push_back(std::make_unique<consensus::ConsensusClient>(
+        &cluster, static_cast<uint16_t>(c + 1),
+        seed * 131 + static_cast<uint64_t>(c)));
+    clients[c]->set_history(&history, c + 1);
+  }
+
+  chaos::ChaosOptions copts = ExploreChaosOptions(seed);
+  copts.crashable = hosts;
+  copts.max_concurrent_crashes = 1;  // = f: a quorum stays live
+  copts.partition_hosts = hosts;
+  for (net::HostId h : client_hosts) copts.partition_hosts.push_back(h);
+  chaos::ChaosMonkey monkey(&fabric, copts);
+  ApplyDisabledWindows(&monkey, disabled);
+  monkey.Arm();
+
+  sim::TaskTracker tracker;
+  for (int c = 0; c < kClients; ++c) {
+    sim::Spawn(
+        [&, c]() -> Task<void> {
+          Rng rng(seed * 977 + static_cast<uint64_t>(c));
+          for (int i = 0; i < kOpsPerClient; ++i) {
+            const uint64_t key = 1 + rng.NextBelow(kKeys);
+            if (rng.NextBool(0.5)) {
+              (void)co_await clients[c]->Put(
+                  key, consensus::MakeValue(seed, c, i));
+            } else {
+              (void)co_await clients[c]->Get(key);
+            }
+            co_await sim::SleepFor(&sim,
+                                   sim::Micros(rng.NextInRange(20, 120)));
+          }
+        },
+        &tracker);
+  }
+  sim.Run();
+
+  RunOutcome out;
+  out.fault_windows = monkey.window_count();
+  out.fault_schedule = monkey.Describe();
+  if (tracker.live() > 0 || cluster.tracker().live() > 0) {
+    out.executed_events = sim.executed_events();
+    Fail(&out, "hang", "consensus tasks still live after the sim drained");
+    return out;
+  }
+
+  // Quiescent final reads through the linearizable Get path (every fault
+  // healed by the chaos horizon); detached from the history like RS/KV.
+  const std::vector<check::Op> snapshot = history.ops();
+  for (int c = 0; c < kClients; ++c) clients[c]->set_history(nullptr, 0);
+  std::vector<FinalRead> finals;
+  sim::TaskTracker final_tracker;
+  sim::Spawn(
+      [&]() -> Task<void> {
+        for (uint64_t k = 1; k <= kKeys; ++k) {
+          auto got = co_await clients[0]->Get(k);
+          if (got.ok()) {
+            finals.push_back({k, check::IdOf(*got)});
+          } else if (got.code() == Code::kNotFound) {
+            finals.push_back({k, check::kAbsent});
+          }  // other errors: no conclusion about this key
+        }
+      },
+      &final_tracker);
+  sim.Run();
+
+  out.executed_events = sim.executed_events();
+  out.history_fingerprint = HistoryFingerprint(snapshot);
+  if (final_tracker.live() > 0 || cluster.tracker().live() > 0) {
+    Fail(&out, "hang",
+         "consensus final reads still live after the sim drained");
+    return out;
+  }
+  check::CheckResult lin = check::CheckLinearizable(snapshot, check::kAbsent);
+  if (!lin.ok) {
+    Fail(&out, "linearizability", std::move(lin.error));
+    return out;
+  }
+  std::string log_error;
+  if (!CommittedPrefixesAgree(cluster, &log_error)) {
+    Fail(&out, "log-safety", std::move(log_error));
+    return out;
+  }
+  check::CheckResult diff = DiffFinalState(snapshot, finals, check::kAbsent);
+  if (!diff.ok) Fail(&out, "final-state", std::move(diff.error));
+  return out;
+}
+
+// The positive control: revocation without a quorum. Chaos-free scripted
+// takeover — leader 0 commits a baseline write, then a second write races a
+// buggy election on node 2 (which proceeds on its own colocated grant
+// alone, then heals the other replicas toward its shorter adopted log).
+//
+// On the canonical schedule the usurper's revoke reaches the shared replica
+// ~0.5 µs before the deposed leader's commit chain (the chain is posted one
+// sleep later), so the chain NACKs, the write ends indeterminate, and the
+// trailing read is legal. Reordering the two deliveries flips the race: the
+// chain commits on a quorum and is acknowledged, the late revoke deposes
+// the leader anyway, the usurper's heal wipes the acknowledged entry, and
+// the read returns the overwritten value — a lost update the Wing–Gong
+// checker flags. Quorum intersection is exactly what rules this out in the
+// correct protocol.
+RunOutcome RunConsensusBuggy(uint64_t seed, sim::ScheduleHook* hook) {
+  sim::Simulator sim;
+  if (hook != nullptr) sim.SetScheduleHook(hook);
+  net::Fabric fabric(&sim, net::CostModel::EvalCluster40G(),
+                     /*loss_seed=*/seed);
+  consensus::ConsensusOptions opts;
+  opts.require_revoke_quorum = false;  // the seeded protocol bug
+  std::vector<net::HostId> hosts;
+  for (int i = 0; i < opts.n_replicas; ++i) {
+    hosts.push_back(fabric.AddHost("replica" + std::to_string(i)));
+  }
+  consensus::ConsensusCluster cluster(&fabric, hosts, opts);
+
+  check::HistoryRecorder history(&sim);
+  consensus::ConsensusClient writer(&cluster, 1, seed * 131 + 1);
+  consensus::ConsensusClient reader(&cluster, 2, seed * 131 + 2);
+  writer.set_history(&history, 1);
+  reader.set_history(&history, 2);
+  // The overwrite must be issued BY the deposed leader, so it bypasses
+  // client-side leader discovery (which would dutifully follow the hint to
+  // the usurper) and goes straight to node 0's data path.
+  consensus::ConsensusSession deposed(&cluster);
+
+  sim::TaskTracker tracker;
+  sim::Spawn(
+      [&]() -> Task<void> {
+        // Node 0 leads; the late remote grants heal membership to 3/3.
+        (void)co_await cluster.Failover(0, nullptr);
+        co_await sim::SleepFor(&sim, sim::Micros(60));
+        (void)co_await writer.Put(1, consensus::MakeValue(seed, 0, 0));
+        co_await sim::SleepFor(&sim, sim::Micros(20));
+        // The race: the buggy takeover starts now; the overwrite is posted
+        // one beat later, so its chain canonically loses the delivery race
+        // at the shared replicas; the read probes well after both settle.
+        sim::Spawn(
+            [&]() -> Task<void> {
+              (void)co_await cluster.Failover(2, nullptr);
+              co_await sim::SleepFor(&sim, sim::Micros(20));
+              (void)co_await reader.Get(1);
+            },
+            &tracker);
+        sim::Spawn(
+            [&]() -> Task<void> {
+              co_await sim::SleepFor(&sim, sim::Nanos(500));
+              const Bytes v = consensus::MakeValue(seed, 0, 1);
+              const size_t h = history.Begin(1, 1, check::OpType::kWrite,
+                                             check::IdOf(v));
+              auto out = co_await deposed.PutOn(0, 1, v, nullptr);
+              history.End(h, out.status.ok()
+                                 ? check::Outcome::kOk
+                                 : out.applied ==
+                                           consensus::ConsensusNode::Applied::
+                                               kMaybe
+                                       ? check::Outcome::kIndeterminate
+                                       : check::Outcome::kFailed);
+            },
+            &tracker);
+      },
+      &tracker);
+  sim.Run();
+
+  RunOutcome out;
+  out.executed_events = sim.executed_events();
+  out.history_fingerprint = HistoryFingerprint(history.ops());
+  if (tracker.live() > 0 || cluster.tracker().live() > 0) {
+    Fail(&out, "hang", "consensus tasks still live after the sim drained");
+    return out;
+  }
+  check::CheckResult lin =
+      check::CheckLinearizable(history.ops(), check::kAbsent);
+  if (!lin.ok) Fail(&out, "linearizability", std::move(lin.error));
+  return out;
+}
+
 }  // namespace
 
 sim::Duration DefaultDelta(Workload kind) {
@@ -565,6 +796,10 @@ sim::Duration DefaultDelta(Workload kind) {
       // Sync races span a few fabric hops (post → deliver → NIC → effect),
       // each a distinct event: a ~µs window lets a handful of reorder
       // decisions compound across one critical-section handoff.
+      return sim::Micros(2);
+    case Workload::kConsensusBuggy:
+      // The revoke-vs-chain delivery race at the shared replica: the two
+      // deliveries sit ~0.5 µs apart, so a 2 µs window can swap them.
       return sim::Micros(2);
     default:
       return sim::Nanos(1000);
@@ -582,6 +817,12 @@ int DefaultRuns(Workload kind) {
       // (see ExploreSeed); critical-section handoffs are narrow, so give
       // the burst more positions per seed.
       return 32;
+    case Workload::kConsensusBuggy:
+      // The split-brain window is one delivery swap near the end of the
+      // scripted schedule — a narrower target than the sync races (tuned
+      // with tools/explore_main: 128 sliding-burst runs find it on every
+      // seed in [1, 100]; 32 miss ~3 in 10).
+      return 128;
     default:
       return 8;
   }
@@ -617,6 +858,10 @@ RunOutcome RunWorkload(const WorkloadOptions& opts) {
     case Workload::kSyncPrism:
     case Workload::kSyncBuggy:
       return RunSync(opts.kind, opts.seed, opts.hook);
+    case Workload::kConsensus:
+      return RunConsensus(opts.seed, opts.hook, opts.disabled_windows);
+    case Workload::kConsensusBuggy:
+      return RunConsensusBuggy(opts.seed, opts.hook);
   }
   return RunOutcome{};
 }

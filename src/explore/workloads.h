@@ -41,6 +41,16 @@ enum class Workload {
   kSyncLease,
   kSyncPrism,
   kSyncBuggy,
+  // Permission-guarded consensus (src/consensus). `consensus` is the
+  // correct protocol under compressed chaos (crashes, partitions, loss) —
+  // linearizability plus the cross-replica log-safety oracle must hold on
+  // every schedule. `consensus_buggy` is the positive control: revocation
+  // without a quorum (require_revoke_quorum = false) run chaos-free through
+  // a scripted leader takeover whose split brain only surfaces when the
+  // schedule reorders the deposed leader's commit chain ahead of the
+  // usurper's revoke at the shared replica.
+  kConsensus,
+  kConsensusBuggy,
 };
 
 // The enabled-window width a workload's races need. The sync schemes race

@@ -53,7 +53,8 @@ using check::ValueId;
 
 TEST(WorkloadTest, NamesRoundTrip) {
   for (Workload w :
-       {Workload::kToy, Workload::kRs, Workload::kKv, Workload::kTx}) {
+       {Workload::kToy, Workload::kRs, Workload::kKv, Workload::kTx,
+        Workload::kConsensus, Workload::kConsensusBuggy}) {
     Workload parsed;
     ASSERT_TRUE(WorkloadFromName(WorkloadName(w), &parsed));
     EXPECT_EQ(parsed, w);
@@ -67,7 +68,8 @@ TEST(WorkloadTest, IdentityHookMatchesProductionEngine) {
   // order: same executed-event count, same recorded history, same fault
   // schedule — for every workload.
   for (Workload w :
-       {Workload::kToy, Workload::kRs, Workload::kKv, Workload::kTx}) {
+       {Workload::kToy, Workload::kRs, Workload::kKv, Workload::kTx,
+        Workload::kConsensus, Workload::kConsensusBuggy}) {
     for (uint64_t seed : {1ull, 7ull, 23ull}) {
       WorkloadOptions plain;
       plain.kind = w;
@@ -557,7 +559,8 @@ TEST(RealStackTest, NoViolationsUnderBoundedReordering) {
   opts.shrink = true;
   std::vector<uint64_t> seeds;
   for (uint64_t s = 1; s <= 100; ++s) seeds.push_back(s);
-  for (Workload w : {Workload::kRs, Workload::kKv, Workload::kTx}) {
+  for (Workload w : {Workload::kRs, Workload::kKv, Workload::kTx,
+                     Workload::kConsensus}) {
     const SweepReport report = ExploreSweep(w, seeds, opts, g_explore_jobs);
     EXPECT_EQ(report.failing_seeds, 0) << WorkloadName(w);
     for (const SeedReport& rep : report.reports) {
@@ -637,6 +640,95 @@ TEST(SyncReproducerTest, BuggySweepIsDeterministicAcrossJobCounts) {
   EXPECT_EQ(serial.total_runs, parallel.total_runs);
   EXPECT_EQ(serial.failing_seeds, parallel.failing_seeds);
   EXPECT_GT(serial.failing_seeds, 0) << "expected seeds 3 and 11 to violate";
+  for (size_t i = 0; i < serial.reports.size(); ++i) {
+    const SeedReport& a = serial.reports[i];
+    const SeedReport& b = parallel.reports[i];
+    EXPECT_EQ(a.seed, b.seed);
+    EXPECT_EQ(a.failures, b.failures);
+    EXPECT_EQ(a.error, b.error);
+    ASSERT_EQ(a.repro.has_value(), b.repro.has_value());
+    if (a.repro.has_value()) {
+      EXPECT_EQ(FormatReproducer(*a.repro), FormatReproducer(*b.repro))
+          << "seed " << a.seed;
+    }
+  }
+}
+
+// ---------- end-to-end: consensus split brain (revoke without quorum) ----
+
+// The defaults tools/explore_main resolves for consensus_buggy
+// (DefaultRuns/DefaultDelta): 128 sliding-burst runs at delta 2 µs find the
+// split brain on every seed in [1, 100].
+ExploreOptions ConsensusExploreOptions() {
+  ExploreOptions opts;
+  opts.runs = DefaultRuns(Workload::kConsensusBuggy);
+  opts.delta = DefaultDelta(Workload::kConsensusBuggy);
+  opts.budget = 8;
+  opts.rate = 0.3;
+  opts.stop_on_failure = true;
+  opts.shrink = true;
+  return opts;
+}
+
+TEST(ConsensusReproducerTest, CanonicalScheduleIsCorrect) {
+  // Without reordering, the usurper's revoke beats the deposed leader's
+  // commit chain at the shared replica, the write ends indeterminate, and
+  // every canonical schedule is clean — the split brain is purely a
+  // schedule race, invisible to a plain chaos sweep.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    WorkloadOptions wo;
+    wo.kind = Workload::kConsensusBuggy;
+    wo.seed = seed;
+    RunOutcome o = RunWorkload(wo);
+    EXPECT_TRUE(o.ok) << "seed " << seed << ": " << o.check_name << " "
+                      << o.error;
+  }
+}
+
+TEST(ConsensusReproducerTest, SplitBrainFoundShrunkAndReplayed) {
+  const SeedReport rep = ExploreSeed(Workload::kConsensusBuggy, /*seed=*/3,
+                                     ConsensusExploreOptions());
+  ASSERT_GT(rep.failures, 0) << "positive control missed the split brain";
+  EXPECT_EQ(rep.check_name, "linearizability");
+  ASSERT_TRUE(rep.repro.has_value());
+  // One delivery swap is the whole bug: the shrinker gets it down to at
+  // most three reorders (usually exactly one).
+  EXPECT_GE(rep.repro->perturbations.size(), 1u);
+  EXPECT_LE(rep.repro->perturbations.size(), 3u);
+  EXPECT_TRUE(rep.repro->disabled_windows.empty());  // chaos-free workload
+
+  Reproducer back;
+  std::string error;
+  ASSERT_TRUE(ParseReproducer(FormatReproducer(*rep.repro), &back, &error))
+      << error;
+  EXPECT_EQ(back.kind, Workload::kConsensusBuggy);
+  RunOutcome replay = ReplayReproducer(back);
+  ASSERT_FALSE(replay.ok);
+  EXPECT_EQ(replay.check_name, rep.repro->check_name);
+  EXPECT_EQ(replay.error, rep.error);
+
+  // 1-minimality: dropping any surviving perturbation stops it reproducing.
+  for (size_t drop = 0; drop < back.perturbations.size(); ++drop) {
+    Reproducer tampered = back;
+    tampered.perturbations.erase(tampered.perturbations.begin() +
+                                 static_cast<std::ptrdiff_t>(drop));
+    RunOutcome weak = ReplayReproducer(tampered);
+    EXPECT_TRUE(weak.ok) << "dropping perturbation " << drop
+                         << " still reproduced — artifact not minimal";
+  }
+}
+
+TEST(ConsensusReproducerTest, BuggySweepIsDeterministicAcrossJobCounts) {
+  std::vector<uint64_t> seeds;
+  for (uint64_t s = 1; s <= 8; ++s) seeds.push_back(s);
+  const SweepReport serial = ExploreSweep(
+      Workload::kConsensusBuggy, seeds, ConsensusExploreOptions(), /*jobs=*/1);
+  const SweepReport parallel = ExploreSweep(
+      Workload::kConsensusBuggy, seeds, ConsensusExploreOptions(), /*jobs=*/8);
+  ASSERT_EQ(serial.reports.size(), parallel.reports.size());
+  EXPECT_EQ(serial.total_runs, parallel.total_runs);
+  EXPECT_EQ(serial.failing_seeds, parallel.failing_seeds);
+  EXPECT_EQ(serial.failing_seeds, 8) << "every seed should find the bug";
   for (size_t i = 0; i < serial.reports.size(); ++i) {
     const SeedReport& a = serial.reports[i];
     const SeedReport& b = parallel.reports[i];

@@ -28,6 +28,7 @@
 
 #include "src/chaos/chaos.h"
 #include "src/common/bytes.h"
+#include "src/consensus/consensus.h"
 #include "src/obs/metrics.h"
 #include "src/check/history.h"
 #include "src/common/rng.h"
@@ -456,6 +457,134 @@ Observed RunSyncStack(int cores) {
   return out;
 }
 
+// ---- consensus (permission-guarded log, fixed leader) ----
+
+// The consensus cluster is parallel-safe only under a discipline the other
+// stacks get for free: every touch of a node's leadership state (its
+// sim::Mutex, quorums, the cluster's election lock) must happen on that
+// node's host engine. With the leader fixed at node 0 — clients drive
+// ConsensusSession::PutOn(0)/GetOn(0) from coroutines whose every await is
+// bound to replica 0's simulator, and both elections target node 0 (the
+// election lock lives on hosts[0] too) — all protocol state lives on one
+// engine and the remote replicas participate purely via fabric messages
+// (commit chains in, grant RPCs in, responses out). A mid-run re-election
+// bumps the epoch while commit chains are in flight, so the revoke-NACK +
+// re-grant + heal paths are part of the schedule under test.
+Observed RunConsensusStack(int cores) {
+  Observed out;
+  Rig rig(cores);
+  std::vector<net::HostId> rhosts;
+  for (int r = 0; r < 3; ++r) {
+    rhosts.push_back(rig.fabric->AddHost("cons-r" + std::to_string(r)));
+  }
+  consensus::ConsensusCluster cluster(rig.fabric.get(), rhosts,
+                                      consensus::ConsensusOptions{});
+  sim::Simulator* lsim = rig.fabric->sim(rhosts[0]);
+
+  constexpr int kClients = 3;
+  constexpr int kOps = 6;
+  constexpr uint64_t kKeys = 2;
+  std::vector<std::unique_ptr<consensus::ConsensusSession>> sessions;
+  std::vector<std::unique_ptr<check::HistoryRecorder>> recorders;
+  for (int c = 0; c < kClients; ++c) {
+    sessions.push_back(std::make_unique<consensus::ConsensusSession>(&cluster));
+    // All client coroutines run on replica 0's engine, so every recorder
+    // binds there (single-writer per recorder still holds).
+    recorders.push_back(std::make_unique<check::HistoryRecorder>(lsim));
+  }
+  std::vector<std::string> driver_log;
+  std::vector<std::vector<std::string>> logs(kClients);
+  sim::TaskTracker tracker;
+  sim::Spawn(
+      [&]() -> Task<void> {
+        auto won = co_await cluster.Failover(0, nullptr);
+        driver_log.push_back(
+            "elect " + (won.ok() ? std::to_string(*won) : CodeName(won.status())));
+        co_await sim::SleepFor(lsim, sim::Micros(70));
+        auto again = co_await cluster.Failover(0, nullptr);
+        driver_log.push_back(
+            "re-elect " +
+            (again.ok() ? std::to_string(*again) : CodeName(again.status())));
+      },
+      &tracker);
+  for (int c = 0; c < kClients; ++c) {
+    sim::Spawn(
+        [&, c]() -> Task<void> {
+          co_await sim::SleepFor(
+              lsim, sim::Micros(30) + sim::Nanos(37 * (c + 1)));
+          Rng rng(3100 + static_cast<uint64_t>(c));
+          for (int i = 0; i < kOps; ++i) {
+            const uint64_t key = 1 + rng.NextBelow(kKeys);
+            if (rng.NextBool(0.6)) {
+              Bytes v = consensus::MakeValue(31, c, i);
+              const size_t h = recorders[c]->Begin(
+                  c + 1, key, check::OpType::kWrite, check::IdOf(v));
+              auto put = co_await sessions[c]->PutOn(0, key, std::move(v),
+                                                     nullptr);
+              recorders[c]->End(
+                  h, put.status.ok() ? check::Outcome::kOk
+                     : put.applied == consensus::ConsensusNode::Applied::kMaybe
+                         ? check::Outcome::kIndeterminate
+                         : check::Outcome::kFailed);
+              logs[c].push_back("put " + std::to_string(key) + " " +
+                                CodeName(put.status));
+            } else {
+              const size_t h =
+                  recorders[c]->Begin(c + 1, key, check::OpType::kRead);
+              auto r = co_await sessions[c]->GetOn(0, key, nullptr);
+              if (r.ok()) {
+                recorders[c]->End(h, check::Outcome::kOk, check::IdOf(*r));
+              } else if (r.status().code() == Code::kNotFound) {
+                recorders[c]->End(h, check::Outcome::kOk, check::kAbsent);
+              } else {
+                recorders[c]->End(h, check::Outcome::kFailed);
+              }
+              logs[c].push_back("get " + std::to_string(key) + " " +
+                                (r.ok() ? std::to_string(check::IdOf(*r))
+                                        : CodeName(r.status())));
+            }
+            co_await sim::SleepFor(lsim,
+                                   sim::Micros(rng.NextInRange(0, 6)));
+          }
+        },
+        &tracker);
+  }
+  AttachExecLogs(rig, &out);
+  rig.Run();
+  PRISM_CHECK_EQ(tracker.live(), 0u) << "consensus clients hung";
+  PRISM_CHECK_EQ(cluster.tracker().live(), 0u) << "protocol tasks hung";
+  for (std::string& line : driver_log) {
+    out.client_log.push_back("e: " + std::move(line));
+  }
+  for (int c = 0; c < kClients; ++c) {
+    for (std::string& line : logs[c]) {
+      out.client_log.push_back(std::to_string(c) + ": " + std::move(line));
+    }
+  }
+  // Replica-side durable state and the protocol's own accounting are part
+  // of the observable world.
+  for (int r = 0; r < 3; ++r) {
+    const consensus::ConsensusReplica& rep = cluster.replica(r);
+    out.client_log.push_back(
+        "final r" + std::to_string(r) + " epoch=" + std::to_string(rep.epoch()) +
+        " commit=" + std::to_string(rep.commit_seq()) +
+        " write=" + std::to_string(rep.write_seq()) +
+        " k1=" + std::to_string(rep.FinalValue(1)) +
+        " k2=" + std::to_string(rep.FinalValue(2)) +
+        " revocations=" + std::to_string(rep.revocations()));
+  }
+  out.client_log.push_back(
+      "stats failovers=" + std::to_string(cluster.failovers()) +
+      " won=" + std::to_string(cluster.node(0).elections_won()) +
+      " granted=" + std::to_string(cluster.node(0).granted_count()) +
+      " rt=" + std::to_string(sessions[0]->round_trips()) + "," +
+      std::to_string(sessions[1]->round_trips()) + "," +
+      std::to_string(sessions[2]->round_trips()));
+  out.history = MergeHistories(recorders);
+  FinishObserved(rig, &out);
+  return out;
+}
+
 // ---- the bit-identity matrix, one test per stack ----
 
 template <typename Runner>
@@ -495,6 +624,10 @@ TEST(PsimDeterminismTest, TxStackBitIdentical) {
 
 TEST(PsimDeterminismTest, SyncStackBitIdentical) {
   CheckStack([](int cores) { return RunSyncStack(cores); }, "sync");
+}
+
+TEST(PsimDeterminismTest, ConsensusStackBitIdentical) {
+  CheckStack([](int cores) { return RunConsensusStack(cores); }, "consensus");
 }
 
 // ---- serial fallbacks ----

@@ -368,6 +368,91 @@ TEST_F(RevokeInFlightTest, RevokeAfterDeliveryDoesNotAffectCompletedOp) {
   sim_.Run();
 }
 
+// The consensus failure detector (src/consensus) hinges on this exact race:
+// a deposed leader's CAS already in flight when the replica revokes its
+// rkey must lose — NACK, memory untouched.
+TEST_F(RevokeInFlightTest, CasNacksWhenRkeyRevokedMidFlightAndMemoryWins) {
+  mem_.StoreWord(region_.base, 0);
+  sim::Spawn([&]() -> Task<void> {
+    auto r = co_await client_.CompareSwap(&service_, region_.rkey,
+                                          region_.base, 0, 0xbadc0de);
+    EXPECT_EQ(r.code(), Code::kPermissionDenied);
+  });
+  sim_.Schedule(sim::Nanos(500),
+                [&] { EXPECT_TRUE(mem_.Deregister(region_.rkey).ok()); });
+  sim_.Run();
+  // The NACK won: the word still holds its pre-CAS value.
+  EXPECT_EQ(mem_.LoadWord(region_.base), 0u);
+}
+
+// The consensus epoch bump: Deregister + Register over the same range is a
+// leader change. The old reign's rkey NACKs forever; the fresh rkey (the
+// new grant) works immediately over the same memory.
+TEST_F(RevokeInFlightTest, RegrantAfterEpochBumpSwapsWhichRkeyWorks) {
+  const RKey old_rkey = region_.rkey;
+  EXPECT_TRUE(mem_.Deregister(old_rkey).ok());
+  auto fresh = mem_.Register(region_.base, region_.length, kRemoteAll);
+  ASSERT_TRUE(fresh.ok()) << fresh.status();
+  ASSERT_NE(fresh->rkey, old_rkey);
+  Status old_status = OkStatus();
+  Status new_status = Aborted("pending");
+  sim::Spawn([&]() -> Task<void> {
+    old_status = co_await client_.Write(&service_, old_rkey, region_.base,
+                                        Bytes(8, 0x01));
+    new_status = co_await client_.Write(&service_, fresh->rkey, region_.base,
+                                        Bytes(8, 0x02));
+  });
+  sim_.Run();
+  EXPECT_EQ(old_status.code(), Code::kPermissionDenied);
+  EXPECT_TRUE(new_status.ok()) << new_status;
+  EXPECT_EQ(mem_.LoadWord(region_.base), 0x0202020202020202ull);
+}
+
+// Revocation racing a VerbBatcher flush: a CAS and its dependent WRITE
+// share one doorbell; the rkey is revoked while the batch is on the wire.
+// Both ops must NACK (the revoke wins over the whole batch), the doorbell
+// amortization must be unchanged (2 WRs, 1 ring, 2 CQEs — NACKs are
+// completions too), and in-batch ordering must hold: the WRITE never
+// executes, so memory is untouched.
+TEST_F(RevokeInFlightTest, RevokeDuringBatchFlushNacksBatchKeepsAmortization) {
+  BatchOptions bopts;
+  bopts.doorbell_batch = 2;
+  bopts.cq_moderation = 2;
+  VerbBatcher batcher(&sim_, &fabric_.cost(), bopts);
+  client_.set_batcher(&batcher);
+  mem_.StoreWord(region_.base, 0);
+  const Bytes before = mem_.Load(region_.base, 64);
+
+  Result<uint64_t> cas = Aborted("pending");
+  Status write = OkStatus();
+  sim::TaskTracker tracker;
+  sim::Spawn(
+      [&]() -> Task<void> {
+        cas = co_await client_.CompareSwap(&service_, region_.rkey,
+                                           region_.base, 0, 7);
+      },
+      &tracker);
+  sim::Spawn(
+      [&]() -> Task<void> {
+        co_await sim::SleepFor(&sim_, sim::Nanos(80));
+        write = co_await client_.Write(&service_, region_.rkey,
+                                       region_.base + 8, Bytes(8, 0xee));
+      },
+      &tracker);
+  sim_.Schedule(sim::Nanos(500),
+                [&] { EXPECT_TRUE(mem_.Deregister(region_.rkey).ok()); });
+  sim_.Run();
+  ASSERT_EQ(tracker.live(), 0u);
+
+  EXPECT_EQ(cas.code(), Code::kPermissionDenied);
+  EXPECT_EQ(write.code(), Code::kPermissionDenied);
+  EXPECT_EQ(mem_.Load(region_.base, 64), before);
+  // Same doorbell profile as the success path: the batch stayed a batch.
+  EXPECT_EQ(batcher.wrs_posted(), 2u);
+  EXPECT_EQ(batcher.doorbells_rung(), 1u);
+  EXPECT_EQ(batcher.cqes_reaped(), 2u);
+}
+
 // ---- batched atomics: two clients race a CAS through VerbBatchers ----
 //
 // The sync schemes (src/sync) lean on two properties at once: CAS atomicity

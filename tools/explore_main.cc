@@ -6,18 +6,22 @@
 //   explore_main --workload=toy --seeds=100 --explore=8 --delta=1000 \
 //                --budget=8 --jobs=0 --repro-out=repro.txt
 //
-//   --workload=NAME           target stack (default toy): toy|rs|kv|tx or a
+//   --workload=NAME           target stack (default toy): toy|rs|kv|tx, a
 //                             sync scheme — sync_spin|sync_opt|sync_lease|
-//                             sync_prism|sync_buggy (src/sync)
+//                             sync_prism|sync_buggy (src/sync) — or the
+//                             consensus log: consensus|consensus_buggy
+//                             (src/consensus)
 //   --seeds=N                 sweep workload seeds 1..N (default 20)
 //   --seed=N                  explore exactly one seed
 //   --explore=N               perturbed runs per seed (default: the
-//                             workload's DefaultRuns — 8 for toy/rs/kv/tx,
-//                             32 for the sync schemes, whose races need
-//                             more burst positions)
+//                             workload's DefaultRuns — 8 for toy/rs/kv/tx/
+//                             consensus, 32 for the sync schemes and 128 for
+//                             consensus_buggy, whose races need more burst
+//                             positions)
 //   --delta=NS                enabled-window width in ns (default: the
 //                             workload's DefaultDelta — 1000 for toy/rs/kv/
-//                             tx, 2000 for the sync schemes)
+//                             tx/consensus, 2000 for the sync schemes and
+//                             consensus_buggy)
 //   --budget=N                max reorder decisions per run (default 8)
 //   --rate=P                  per-step perturbation probability (default 0.3)
 //   --jobs=N                  sweep worker threads (default: all cores)
